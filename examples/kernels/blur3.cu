@@ -1,0 +1,10 @@
+#pragma gpcc output out
+__kernel void blur3(float img[1026][1026], float out[1024][1024]) {
+  float s = 0;
+  for (int dy = 0; dy < 3; dy++) {
+    for (int dx = 0; dx < 3; dx++) {
+      s += img[idy + dy][idx + dx];
+    }
+  }
+  out[idy][idx] = s / 9.0;
+}

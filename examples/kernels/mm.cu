@@ -1,0 +1,8 @@
+#pragma gpcc dim w 1024
+#pragma gpcc output c
+__kernel void mm(float a[1024][1024], float b[1024][1024], float c[1024][1024], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++)
+    sum += a[idy][i] * b[i][idx];
+  c[idy][idx] = sum;
+}

@@ -1,0 +1,9 @@
+#pragma gpcc dim w 1024
+#pragma gpcc output c
+__kernel void mv(float a[1024][1024], float b[1024], float c[1024], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++) {
+    sum += a[idx][i] * b[i];
+  }
+  c[idx] = sum;
+}

@@ -1,0 +1,4 @@
+#pragma gpcc output b
+__kernel void tp(float a[1024][1024], float b[1024][1024]) {
+  b[idx][idy] = a[idy][idx];
+}
