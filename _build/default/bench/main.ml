@@ -1,0 +1,671 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (Section 6) on the GPU simulator, plus Bechamel
+    micro-benchmarks of the compiler itself.
+
+    Usage:
+      dune exec bench/main.exe                 (all sections)
+      dune exec bench/main.exe -- fig11 fig13  (selected sections)
+      GPCC_FAST=1 dune exec bench/main.exe     (reduced sizes)
+
+    Absolute numbers come from the machine model; the claims reproduced
+    are the paper's *shapes*: who wins, by roughly what factor, and where
+    the crossovers are. EXPERIMENTS.md records paper-vs-measured. *)
+
+open Gpcc_workloads
+
+let fast = Sys.getenv_opt "GPCC_FAST" <> None
+let gtx280 = Gpcc_sim.Config.gtx280
+let gtx8800 = Gpcc_sim.Config.gtx8800
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  (%s)\n" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Configuration selection: the paper's empirical search (Section 4)   *)
+(* ------------------------------------------------------------------ *)
+
+(* cheap workloads are probed at full size; expensive ones at a smaller
+   probe (the paper notes the optimum depends on the input size — the
+   probe is the concession that makes simulation affordable) *)
+let probe_size (w : Workload.t) n =
+  if w.flops n < 5e7 then n else min n (if fast then 256 else 512)
+
+let config_cache : (string, int * int) Hashtbl.t = Hashtbl.create 32
+
+(** Best (threads-per-block, merge-degree) for a workload on a GPU, found
+    by compiling every Section-4 configuration and test-running each on
+    the simulator at a probe size — the paper's empirical search. *)
+let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
+    int * int =
+  let pn = probe_size w n in
+  let key = Printf.sprintf "%s/%s/%d" cfg.name w.name pn in
+  match Hashtbl.find_opt config_cache key with
+  | Some c -> c
+  | None ->
+      let k = Workload.parse w pn in
+      let seen = ref [] in
+      let best = ref (256, 16) and best_score = ref neg_infinity in
+      List.iter
+        (fun target ->
+          List.iter
+            (fun degree ->
+              let opts =
+                {
+                  (Gpcc_core.Compiler.default_options ~cfg ()) with
+                  target_block_threads = target;
+                  merge_degree = degree;
+                }
+              in
+              match Gpcc_core.Compiler.run ~opts k with
+              | r ->
+                  let text =
+                    Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel
+                  in
+                  if not (List.mem text !seen) then begin
+                    seen := text :: !seen;
+                    match
+                      Workload.measure ~sample:1 ~streams:3 cfg w pn r.kernel
+                        r.launch
+                    with
+                    | t ->
+                        if t.gflops > !best_score then begin
+                          best_score := t.gflops;
+                          best := (target, degree)
+                        end
+                    | exception _ -> ()
+                  end
+              | exception _ -> ())
+            [ 1; 4; 8; 16; 32 ])
+        [ 16; 32; 64; 128; 256; 512 ];
+      Hashtbl.replace config_cache key !best;
+      !best
+
+(** Compile a workload at size [n] with the empirically chosen knobs. *)
+let compile_best (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
+    Gpcc_core.Compiler.result =
+  let target, degree = best_config cfg w n in
+  let opts =
+    {
+      (Gpcc_core.Compiler.default_options ~cfg ()) with
+      target_block_threads = target;
+      merge_degree = degree;
+    }
+  in
+  Gpcc_core.Compiler.run ~opts (Workload.parse w n)
+
+let measure_naive ?(sample = 4) cfg (w : Workload.t) n =
+  let k = Workload.parse w n in
+  let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+  Workload.measure ~sample cfg w n k launch
+
+let measure_opt ?(sample = 4) cfg (w : Workload.t) n =
+  let r = compile_best cfg w n in
+  Workload.measure ~sample cfg w n r.kernel r.launch
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log (Float.max 1e-9 x)) 0.0 xs
+           /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: algorithms optimized with the compiler";
+  Printf.printf "  %-14s %-42s %-22s %s\n" "algorithm" "description"
+    "input sizes" "naive LOC";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "  %-14s %-42s %-22s %d\n" w.name w.description
+        (String.concat "," (List.map string_of_int w.sizes))
+        (Workload.naive_loc w))
+    Registry.all;
+  note "paper LOC: tmv 11, mm 10, mv 11, vv 3, rd 9, strsm 18, conv 12, tp 11, demosaicing 27, imregionmax 26"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: mm design space on GTX 280                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  section "Figure 10: mm performance vs merge configuration (GTX 280)";
+  let w = Registry.find_exn "mm" in
+  let sizes = if fast then [ 256 ] else [ 512; 1024 ] in
+  List.iter
+    (fun n ->
+      Printf.printf "  n=%d (GFLOPS; rows: threads/block, cols: thread-merge degree)\n" n;
+      Printf.printf "  %8s" "";
+      List.iter (fun d -> Printf.printf " %8d" d) [ 4; 8; 16; 32 ];
+      print_newline ();
+      List.iter
+        (fun target ->
+          Printf.printf "  %8d" target;
+          List.iter
+            (fun degree ->
+              let opts =
+                {
+                  (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
+                  target_block_threads = target;
+                  merge_degree = degree;
+                }
+              in
+              match Gpcc_core.Compiler.run ~opts (Workload.parse w n) with
+              | r -> (
+                  match
+                    Workload.measure ~sample:1 ~streams:4 gtx280 w n r.kernel
+                      r.launch
+                  with
+                  | t -> Printf.printf " %8.1f" t.gflops
+                  | exception _ -> Printf.printf " %8s" "-")
+              | exception _ -> Printf.printf " %8s" "-")
+            [ 4; 8; 16; 32 ];
+          print_newline ())
+        [ 128; 256; 512 ];
+      print_newline ())
+    sizes;
+  note "paper: optimum at 16 merged blocks along X with 16-way thread merge; ridge along moderate configurations, cliffs at resource limits"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: optimized vs naive speedups, both GPUs                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig11_size (w : Workload.t) =
+  let n = if fast then w.test_size * 4 else w.bench_size in
+  max n w.test_size
+
+let fig11 () =
+  section "Figure 11: kernel speedup of optimized over naive";
+  Printf.printf "  %-14s %8s | %10s %10s %8s | %10s %10s %8s\n" "" "size"
+    "8800-naive" "8800-opt" "speedup" "280-naive" "280-opt" "speedup";
+  let speedups8800 = ref [] and speedups280 = ref [] in
+  List.iter
+    (fun (w : Workload.t) ->
+      let n = fig11_size w in
+      (* transpose has no flops: report effective bandwidth instead;
+         speedups are always time-based *)
+      let metric t =
+        if w.flops n > 0.0 then t.Gpcc_sim.Timing.gflops
+        else Workload.effective_bandwidth w n t
+      in
+      let row cfg acc =
+        try
+          let tn = measure_naive cfg w n in
+          let topt = measure_opt cfg w n in
+          let s = tn.time_ms /. Float.max 1e-9 topt.time_ms in
+          acc := s :: !acc;
+          Printf.sprintf "%10.2f %10.2f %7.1fx" (metric tn) (metric topt) s
+        with e -> Printf.sprintf "error: %s" (Printexc.to_string e)
+      in
+      let r8800 = row gtx8800 speedups8800 in
+      let r280 = row gtx280 speedups280 in
+      Printf.printf "  %-14s %8d | %s | %s\n%!" w.name n r8800 r280)
+    Registry.all;
+  Printf.printf "  %-14s %8s | %22s %7.1fx | %22s %7.1fx\n" "geometric mean"
+    "" "" (geomean !speedups8800) "" (geomean !speedups280);
+  note "paper: geometric means 15.1x (GTX8800) and 7.9x (GTX280); GTX280 benefits less because relaxed coalescing improves its naive baseline"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: effect of each optimization step                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  section "Figure 12: cumulative effect of each compilation step (geomean over kernels)";
+  let stage_labels =
+    [
+      "naive"; "+vectorization"; "+coalescing"; "+thread/block merge";
+      "+prefetching"; "+partition camping elim.";
+    ]
+  in
+  List.iter
+    (fun cfg ->
+      let per_stage = Array.make (List.length stage_labels) [] in
+      List.iter
+        (fun (w : Workload.t) ->
+          let n = fig11_size w in
+          let target, degree = best_config cfg w n in
+          try
+            let stages =
+              Gpcc_core.Compiler.staged ~cfg ~target_block_threads:target
+                ~merge_degree:degree (Workload.parse w n)
+            in
+            let naive_ms = ref None in
+            List.iteri
+              (fun i (_, kernel, launch) ->
+                match Workload.measure ~sample:2 ~streams:6 cfg w n kernel launch with
+                | t ->
+                    (match !naive_ms with
+                    | None -> naive_ms := Some (Float.max 1e-9 t.time_ms)
+                    | Some _ -> ());
+                    let base = Option.get !naive_ms in
+                    per_stage.(i) <- (base /. Float.max 1e-9 t.time_ms) :: per_stage.(i)
+                | exception _ -> ())
+              stages
+          with _ -> ())
+        Registry.all;
+      Printf.printf "  %s:\n" cfg.Gpcc_sim.Config.name;
+      List.iteri
+        (fun i label ->
+          Printf.printf "    %-28s %6.2fx\n%!" label (geomean per_stage.(i)))
+        stage_labels)
+    [ gtx8800; gtx280 ];
+  note "paper: thread/thread-block merge has the largest impact; prefetching shows little impact (skipped when registers are exhausted); camping elimination matters more on GTX280"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: optimized vs CUBLAS 2.2 on GTX 280                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  section "Figure 13: optimized kernels vs CUBLAS 2.2 (GTX 280, GFLOPS)";
+  let sizes_for (w : Workload.t) =
+    match w.name with
+    | "rd" -> if fast then [ 262144 ] else [ 1048576; 4194304 ]
+    | "vv" -> [ 1024; 4096 ]
+    | _ -> if fast then [ 512 ] else [ 1024; 2048 ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun (w : Workload.t) ->
+      if w.in_cublas then
+        List.iter
+          (fun n ->
+            try
+              let topt = measure_opt gtx280 w n in
+              let c = Option.get (Cublas_sim.find w.name) in
+              let kc = Cublas_sim.kernel c n in
+              let tc = Workload.measure gtx280 w n kc (c.c_launch n) in
+              let ratio = topt.gflops /. Float.max 1e-9 tc.gflops in
+              ratios := ratio :: !ratios;
+              Printf.printf "  %-8s n=%-8d ours %8.2f | cublas %8.2f | ratio %5.2fx\n%!"
+                w.name n topt.gflops tc.gflops ratio
+            with e ->
+              Printf.printf "  %-8s n=%-8d error: %s\n%!" w.name n
+                (Printexc.to_string e))
+          (sizes_for w))
+    Registry.all;
+  Printf.printf "  geometric-mean ratio over all points: %.2fx\n" (geomean !ratios);
+  note "paper: better than CUBLAS on tmv, mv, vv, strsm; within 2%% on mm and rd; 26-33%% average improvement"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: vectorization of the complex reduction                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  section "Figure 14: complex reduction with and without vectorization (GTX 280)";
+  let w = Registry.find_exn "rd-complex" in
+  let sizes = if fast then [ 262144 ] else [ 1048576; 4194304 ] in
+  List.iter
+    (fun n ->
+      try
+        let target, degree = best_config gtx280 w n in
+        let opts =
+          {
+            (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
+            target_block_threads = target;
+            merge_degree = degree;
+          }
+        in
+        let with_vec = Gpcc_core.Compiler.run ~opts (Workload.parse w n) in
+        let without =
+          Gpcc_core.Compiler.run
+            ~opts:{ opts with enable_vectorize = false }
+            (Workload.parse w n)
+        in
+        let tv = Workload.measure gtx280 w n with_vec.kernel with_vec.launch in
+        let tw = Workload.measure gtx280 w n without.kernel without.launch in
+        Printf.printf
+          "  n=%-8d optimized %8.2f GFLOPS | optimized_wo_vec %8.2f GFLOPS | vectorization gain %.2fx\n%!"
+          n tv.gflops tw.gflops (tv.gflops /. Float.max 1e-9 tw.gflops)
+      with e -> Printf.printf "  n=%d error: %s\n%!" n (Printexc.to_string e))
+    sizes;
+  note "paper: vectorization significantly better — float2 bandwidth plus direct register loads instead of shared-memory destaging"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: transpose bandwidth                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  section "Figure 15: transpose effective bandwidth (GTX 280, GB/s)";
+  let w = Registry.find_exn "tp" in
+  let sizes = if fast then [ 1024 ] else [ 1024; 2048; 4096 ] in
+  Printf.printf "  %8s %10s %10s %10s %10s\n" "size" "naive" "SDK-prev"
+    "SDK-new" "ours";
+  List.iter
+    (fun n ->
+      try
+        let bw t = Workload.effective_bandwidth w n t in
+        let tn = measure_naive gtx280 w n in
+        let kp, lp = Sdk_transpose.prev n in
+        let tp_ = Workload.measure gtx280 w n kp lp in
+        let kn, ln = Sdk_transpose.new_ n in
+        let tnew = Workload.measure gtx280 w n kn ln in
+        let to_ = measure_opt gtx280 w n in
+        Printf.printf "  %8d %10.1f %10.1f %10.1f %10.1f\n%!" n (bw tn)
+          (bw tp_) (bw tnew) (bw to_)
+      with e -> Printf.printf "  %8d error: %s\n%!" n (Printexc.to_string e))
+    sizes;
+  note "paper: naive << SDK-prev (partition camping) < SDK-new ~ ours (diagonal reordering); ours matches or beats the SDK version"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: mv and partition camping                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig16 () =
+  section "Figure 16: mv — naive / optimized without camping elimination / optimized / CUBLAS (GTX 280, GFLOPS)";
+  let w = Registry.find_exn "mv" in
+  let sizes = if fast then [ 512; 1024 ] else [ 1024; 2048; 4096 ] in
+  Printf.printf "  %8s %10s %12s %10s %10s\n" "size" "naive" "Opti_PC"
+    "optimized" "CUBLAS";
+  List.iter
+    (fun n ->
+      try
+        let tn = measure_naive gtx280 w n in
+        let target, degree = best_config gtx280 w n in
+        let opts =
+          {
+            (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
+            target_block_threads = target;
+            merge_degree = degree;
+          }
+        in
+        let nopc =
+          Gpcc_core.Compiler.run
+            ~opts:{ opts with enable_partition = false }
+            (Workload.parse w n)
+        in
+        let full = Gpcc_core.Compiler.run ~opts (Workload.parse w n) in
+        let tnopc = Workload.measure gtx280 w n nopc.kernel nopc.launch in
+        let tfull = Workload.measure gtx280 w n full.kernel full.launch in
+        let c = Option.get (Cublas_sim.find "mv") in
+        let tc =
+          Workload.measure gtx280 w n (Cublas_sim.kernel c n) (c.c_launch n)
+        in
+        Printf.printf "  %8d %10.2f %12.2f %10.2f %10.2f\n%!" n tn.gflops
+          tnopc.gflops tfull.gflops tc.gflops
+      with e -> Printf.printf "  %8d error: %s\n%!" n (Printexc.to_string e))
+    sizes;
+  note "paper: Opti_PC already beats CUBLAS; eliminating partition camping improves it further"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler itself                     *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section "Compiler micro-benchmarks (Bechamel, wall time of gpcc itself)";
+  let open Bechamel in
+  let open Toolkit in
+  let mm_src = (Registry.find_exn "mm").source 1024 in
+  let mv_src = (Registry.find_exn "mv").source 1024 in
+  let parse_test =
+    Test.make ~name:"parse+typecheck mm"
+      (Staged.stage (fun () ->
+           let k = Gpcc_ast.Parser.kernel_of_string mm_src in
+           Gpcc_ast.Typecheck.check k))
+  in
+  let analyze_test =
+    let k = Gpcc_ast.Parser.kernel_of_string mm_src in
+    let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
+    Test.make ~name:"coalescing analysis mm"
+      (Staged.stage (fun () ->
+           ignore (Gpcc_analysis.Coalesce_check.analyze_kernel ~launch k)))
+  in
+  let compile_test name src =
+    Test.make ~name:("full pipeline " ^ name)
+      (Staged.stage (fun () ->
+           ignore
+             (Gpcc_core.Compiler.run (Gpcc_ast.Parser.kernel_of_string src))))
+  in
+  let tests =
+    [ parse_test; analyze_test; compile_test "mm" mm_src; compile_test "mv" mv_src ]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ())
+          Instance.[ monotonic_clock ]
+          test
+      in
+      Hashtbl.iter
+        (fun name raw ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock raw
+          with
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] ->
+                  Printf.printf "  %-28s %12.1f us/run\n%!" name (est /. 1e3)
+              | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+          | exception _ -> Printf.printf "  %-28s (analysis failed)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Section 7 case study: FFT                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig17_fft () =
+  section "Section 7 case study: 1-D FFT, naive 2-point butterflies vs compiler-merged";
+  let w = Registry.find_exn "fft" in
+  let sizes = if fast then [ 4096 ] else [ 16384; 65536 ] in
+  List.iter
+    (fun n ->
+      try
+        let tn = measure_naive gtx280 w n in
+        let topt = measure_opt gtx280 w n in
+        let target, degree = best_config gtx280 w n in
+        Printf.printf
+          "  n=%-7d naive 2-point %7.2f GFLOPS | optimized (vectorized, %d-way merge, %d-thread blocks) %7.2f GFLOPS | gain %.2fx\n%!"
+          n tn.gflops degree target topt.gflops
+          (tn.time_ms /. Float.max 1e-9 topt.time_ms)
+      with e -> Printf.printf "  n=%d error: %s\n%!" n (Printexc.to_string e))
+    sizes;
+  note "paper: 24 GFLOPS naive 2-point -> 41 GFLOPS after thread merge (vs CUFFT 2.2's 26); a hand-written 8-point naive kernel (44) then re-optimized (59) beats both — the compiler aids but does not replace algorithm exploration"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of individual design choices                               *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  section "Ablations: isolating the design choices the compiler makes";
+
+  (* 1. shared-memory padding: the [16][17] tile vs an unpadded [16][16]
+     one — the column reads shared1[tidx][k] hit one bank without the
+     padding word (paper Section 3.3 "padding to avoid bank conflicts") *)
+  (try
+     let w = Registry.find_exn "mv" in
+     let n = if fast then 512 else 1024 in
+     let r = compile_best gtx280 w n in
+     let unpad (k : Gpcc_ast.Ast.kernel) =
+       {
+         k with
+         k_body =
+           Gpcc_ast.Rewrite.map_stmts
+             (function
+               | Gpcc_ast.Ast.Decl
+                   ({ d_ty = Array ({ space = Shared; dims; _ } as a); _ } as d)
+                 ->
+                   let dims' =
+                     List.map (fun x -> if x = 17 then 16 else x) dims
+                   in
+                   [ Gpcc_ast.Ast.Decl { d with d_ty = Array { a with dims = dims' } } ]
+               | s -> [ s ])
+             k.k_body;
+       }
+     in
+     let padded, _ =
+       Workload.execute ~mode:(Gpcc_sim.Launch.Sampled 2) gtx280 w n r.kernel
+         r.launch
+     in
+     let stripped, _ =
+       Workload.execute ~mode:(Gpcc_sim.Launch.Sampled 2) gtx280 w n
+         (unpad r.kernel) r.launch
+     in
+     Printf.printf
+       "  shared-memory padding (mv tile): padded [16][17] %6.2f GFLOPS (%.0f conflict cycles/block) | unpadded [16][16] %6.2f GFLOPS (%.0f conflict cycles/block)\n"
+       padded.timing.gflops padded.per_block.bank_extra
+       stripped.timing.gflops stripped.per_block.bank_extra
+   with e -> Printf.printf "  padding ablation failed: %s\n" (Printexc.to_string e));
+
+  (* 2. coalescing rules: the same naive mm under the G80 strict rule vs
+     the GT200 relaxed rule (all other machine parameters held at GTX280
+     values) — why Figure 11's speedups are larger on the older GPU *)
+  (try
+     let w = Registry.find_exn "mm" in
+     let n = if fast then 256 else 512 in
+     let k = Workload.parse w n in
+     let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+     let strict_cfg =
+       { gtx280 with Gpcc_sim.Config.coalesce_rules = Gpcc_sim.Config.Strict_g80;
+         name = "GTX280+strict" }
+     in
+     let relaxed = Workload.measure ~sample:2 gtx280 w n k launch in
+     let strict = Workload.measure ~sample:2 strict_cfg w n k launch in
+     Printf.printf
+       "  coalescing rules (naive mm, same chip otherwise): strict-G80 %6.2f GFLOPS | relaxed-GT200 %6.2f GFLOPS (%.1fx from the rule alone)\n"
+       strict.gflops relaxed.gflops (relaxed.gflops /. Float.max 1e-9 strict.gflops)
+   with e -> Printf.printf "  rules ablation failed: %s\n" (Printexc.to_string e));
+
+  (* 3. prefetching: a configuration with register headroom where the
+     pass actually fires, on vs off *)
+  (try
+     let w = Registry.find_exn "mm" in
+     let n = if fast then 256 else 512 in
+     let opts =
+       {
+         (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
+         target_block_threads = 64;
+         merge_degree = 4;
+       }
+     in
+     let with_pf = Gpcc_core.Compiler.run ~opts (Workload.parse w n) in
+     let without =
+       Gpcc_core.Compiler.run
+         ~opts:{ opts with enable_prefetch = false }
+         (Workload.parse w n)
+     in
+     let fired =
+       List.exists
+         (fun (s : Gpcc_core.Compiler.step) ->
+           s.step_name = "data prefetching" && s.fired)
+         with_pf.steps
+     in
+     let tp_ = Workload.measure ~sample:2 gtx280 w n with_pf.kernel with_pf.launch in
+     let tn = Workload.measure ~sample:2 gtx280 w n without.kernel without.launch in
+     Printf.printf
+       "  prefetching (mm, 64-thread blocks, 4-way merge; pass fired: %b): with %6.2f GFLOPS | without %6.2f GFLOPS\n"
+       fired tp_.gflops tn.gflops
+   with e -> Printf.printf "  prefetch ablation failed: %s\n" (Printexc.to_string e));
+
+  (* 4. the empirical search (Section 4): the per-workload selected
+     configuration vs the paper's mm-tuned default (256 threads, 16-way
+     merge) applied blindly *)
+  (try
+     List.iter
+       (fun name ->
+         let w = Registry.find_exn name in
+         let n = if fast then 512 else 1024 in
+         let fixed =
+           Gpcc_core.Compiler.run
+             ~opts:
+               {
+                 (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
+                 target_block_threads = 256;
+                 merge_degree = 16;
+               }
+             (Workload.parse w n)
+         in
+         let tf = Workload.measure ~sample:2 gtx280 w n fixed.kernel fixed.launch in
+         let tb = measure_opt ~sample:2 gtx280 w n in
+         let target, degree = best_config gtx280 w n in
+         Printf.printf
+           "  empirical search (%s): fixed (256,16) %6.2f GFLOPS | searched (%d,%d) %6.2f GFLOPS\n"
+           name tf.gflops target degree tb.gflops)
+       [ "tmv"; "mv" ]
+   with e -> Printf.printf "  search ablation failed: %s\n" (Printexc.to_string e));
+  note "each row isolates one mechanism: bank-conflict padding, the hardware coalescing rule, prefetch double-buffering, and the Section-4 empirical search"
+
+(* ------------------------------------------------------------------ *)
+(* Beyond the paper's evaluation: the AMD target it sketches in 3.1     *)
+(* ------------------------------------------------------------------ *)
+
+let amd_vectors () =
+  section "AMD HD 5870: aggressive vectorization (paper Sections 2a/3.1)";
+  let amd = Gpcc_sim.Config.hd5870 in
+  let w = Registry.find_exn "vv" in
+  let n = if fast then 262144 else 1048576 in
+  Printf.printf "  element-wise vv over %d floats; effective GB/s by access width:\n" n;
+  List.iter
+    (fun width ->
+      try
+        let k = Workload.parse w n in
+        let launch0 = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
+        let o =
+          if width = 1 then Gpcc_passes.Pass_util.unchanged k launch0
+          else Gpcc_passes.Vectorize_wide.apply ~width k launch0
+        in
+        let bm = Gpcc_passes.Merge.block_merge_x o.kernel o.launch 16 in
+        let t = Workload.measure ~sample:2 amd w n bm.kernel bm.launch in
+        Printf.printf "    float%-2s %7.1f GB/s\n"
+          (if width = 1 then "" else string_of_int width)
+          (Workload.effective_bandwidth w n t)
+      with e -> Printf.printf "    width %d error: %s\n" width (Printexc.to_string e))
+    [ 1; 2; 4 ];
+  (try
+     let k = Workload.parse w n in
+     let r =
+       Gpcc_core.Compiler.run
+         ~opts:(Gpcc_core.Compiler.default_options ~cfg:amd ())
+         k
+     in
+     let fired =
+       List.exists
+         (fun (s : Gpcc_core.Compiler.step) ->
+           s.fired && s.step_name = "wide vectorization (AMD)")
+         r.steps
+     in
+     let t = Workload.measure ~sample:2 amd w n r.kernel r.launch in
+     Printf.printf
+       "  full pipeline on HD 5870 (wide vectorization fired: %b): %7.1f GB/s\n"
+       fired
+       (Workload.effective_bandwidth w n t)
+   with e -> Printf.printf "  pipeline error: %s\n" (Printexc.to_string e));
+  note "paper Section 2a: the HD 5870 sustains 71 / 98 / 101 GB/s for float / float2 / float4 — the measured widths must reproduce that ordering"
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
+    ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
+    ("fig17_fft", fig17_fft); ("ablations", ablations);
+    ("amd_vectors", amd_vectors); ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Printf.printf "gpcc benchmark harness (%s mode)\n"
+    (if fast then "fast" else "full");
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> (
+          let t0 = Unix.gettimeofday () in
+          match f () with
+          | () ->
+              Printf.printf "  [section %s: %.1fs]\n%!" name
+                (Unix.gettimeofday () -. t0)
+          | exception e ->
+              Printf.printf "  section %s failed: %s\n%!" name
+                (Printexc.to_string e))
+      | None -> Printf.printf "unknown section %s\n" name)
+    requested

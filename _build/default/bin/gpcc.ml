@@ -1,0 +1,230 @@
+(** gpcc — the GPGPU optimizing compiler, as a command-line tool.
+
+    Subcommands:
+    - [compile FILE]: run the Figure-1 pipeline on a naive kernel and
+      print the optimized kernel, the launch configuration, and the
+      per-pass report;
+    - [check FILE]: parse and type-check a kernel, report the coalescing
+      verdict of every global access (Section 3.2's analysis);
+    - [explore FILE]: generate the Section-4 design space, simulate every
+      version, and print the scored table;
+    - [deploy FILE]: select one optimized version per GPU (Section 4.2);
+    - [bench WORKLOAD]: compile a built-in workload and report
+      naive/optimized simulated performance;
+    - [list]: list the built-in workloads (the paper's Table 1). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let gpu_conv =
+  let parse s =
+    match Gpcc_sim.Config.by_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown GPU %S (try GTX8800 or GTX280)" s))
+  in
+  let print fmt (c : Gpcc_sim.Config.t) = Format.fprintf fmt "%s" c.name in
+  Arg.conv (parse, print)
+
+let gpu_arg =
+  Arg.(
+    value
+    & opt gpu_conv Gpcc_sim.Config.gtx280
+    & info [ "g"; "gpu" ] ~docv:"GPU" ~doc:"Target GPU model (GTX8800 or GTX280).")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Kernel source file.")
+
+let handle_errors f =
+  try f () with
+  | Gpcc_ast.Lexer.Error (m, line) ->
+      Printf.eprintf "lex error (line %d): %s\n" line m;
+      exit 1
+  | Gpcc_ast.Parser.Error (m, line) ->
+      Printf.eprintf "parse error (line %d): %s\n" line m;
+      exit 1
+  | Gpcc_ast.Typecheck.Type_error m ->
+      Printf.eprintf "type error: %s\n" m;
+      exit 1
+  | Gpcc_core.Compiler.Compile_error m ->
+      Printf.eprintf "compile error: %s\n" m;
+      exit 1
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let run cfg target degree verbose file =
+    handle_errors (fun () ->
+        let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+        let opts =
+          {
+            (Gpcc_core.Compiler.default_options ~cfg ()) with
+            target_block_threads = target;
+            merge_degree = degree;
+          }
+        in
+        let r = Gpcc_core.Compiler.run ~opts k in
+        if verbose then print_string (Gpcc_core.Compiler.report r);
+        print_string (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel))
+  in
+  let target =
+    Arg.(value & opt int 256 & info [ "t"; "threads" ] ~doc:"Target threads per block.")
+  in
+  let degree =
+    Arg.(value & opt int 16 & info [ "m"; "merge" ] ~doc:"Thread-merge degree.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-pass report.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Optimize a naive kernel")
+    Term.(const run $ gpu_arg $ target $ degree $ verbose $ file_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+        Gpcc_ast.Typecheck.check k;
+        match Gpcc_passes.Pass_util.initial_launch k with
+        | None ->
+            print_endline "type check: OK (no thread domain; access analysis skipped)"
+        | Some launch ->
+            print_endline "type check: OK";
+            Gpcc_analysis.Coalesce_check.analyze_kernel ~launch k
+            |> List.iter (fun a ->
+                   print_endline ("  " ^ Gpcc_analysis.Coalesce_check.to_string a)))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Type-check a kernel and report coalescing verdicts")
+    Term.(const run $ file_arg)
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let run cfg file =
+    handle_errors (fun () ->
+        let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+        (* score by static occupancy x inverse instruction estimate when no
+           workload data is attached; kernel versions are still printed *)
+        let measure kernel launch =
+          let regs = Gpcc_analysis.Regcount.estimate kernel in
+          let shmem = Gpcc_analysis.Regcount.shared_bytes kernel in
+          let occ =
+            Gpcc_sim.Occupancy.calc cfg ~regs_per_thread:regs
+              ~shared_per_block:shmem
+              ~threads_per_block:(Gpcc_ast.Ast.threads_per_block launch)
+          in
+          float_of_int occ.active_warps
+        in
+        let cands =
+          Gpcc_core.Explore.search ~cfg k ~measure |> Gpcc_core.Explore.distinct
+        in
+        Printf.printf "%-8s %-8s %-10s %-8s\n" "threads" "merge" "score" "launch";
+        List.iter
+          (fun (c : Gpcc_core.Explore.candidate) ->
+            Printf.printf "%-8d %-8d %-10.1f (%d,%d)x(%d,%d)\n"
+              c.target_block_threads c.merge_degree c.score
+              c.result.launch.grid_x c.result.launch.grid_y
+              c.result.launch.block_x c.result.launch.block_y)
+          cands)
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Enumerate the design space of merge configurations")
+    Term.(const run $ gpu_arg $ file_arg)
+
+(* --- bench --- *)
+
+let bench_cmd =
+  let run cfg name size =
+    handle_errors (fun () ->
+        match Gpcc_workloads.Registry.find name with
+        | None ->
+            Printf.eprintf "unknown workload %s (see `gpcc list`)\n" name;
+            exit 1
+        | Some w ->
+            let n = Option.value size ~default:w.bench_size in
+            let k = Gpcc_workloads.Workload.parse w n in
+            let nl = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+            let tn = Gpcc_workloads.Workload.measure cfg w n k nl in
+            let r = Gpcc_core.Compiler.run ~opts:(Gpcc_core.Compiler.default_options ~cfg ()) k in
+            let topt = Gpcc_workloads.Workload.measure cfg w n r.kernel r.launch in
+            (* flop-free kernels (transpose) report effective bandwidth *)
+            let metric (t : Gpcc_sim.Timing.result) =
+              if w.flops n > 0.0 then Printf.sprintf "%8.2f GFLOPS" t.gflops
+              else
+                Printf.sprintf "%8.2f GB/s"
+                  (Gpcc_workloads.Workload.effective_bandwidth w n t)
+            in
+            Printf.printf "%s on %s, n=%d\n" w.name cfg.name n;
+            Printf.printf "  naive:     %s (%s-bound)\n" (metric tn) tn.bound;
+            Printf.printf "  optimized: %s (%s-bound)  speedup %.1fx\n"
+              (metric topt) topt.bound
+              (tn.time_ms /. Float.max 1e-9 topt.time_ms))
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let size_arg =
+    Arg.(value & opt (some int) None & info [ "n"; "size" ] ~doc:"Problem size.")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Simulate a built-in workload, naive vs optimized")
+    Term.(const run $ gpu_arg $ name_arg $ size_arg)
+
+(* --- deploy --- *)
+
+let deploy_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+        (* static scoring (occupancy-based), as in explore: deployment
+           with measured scoring is what `bench` and the library API do *)
+        let measure cfg kernel launch =
+          let regs = Gpcc_analysis.Regcount.estimate kernel in
+          let shmem = Gpcc_analysis.Regcount.shared_bytes kernel in
+          let occ =
+            Gpcc_sim.Occupancy.calc cfg ~regs_per_thread:regs
+              ~shared_per_block:shmem
+              ~threads_per_block:(Gpcc_ast.Ast.threads_per_block launch)
+          in
+          float_of_int occ.active_warps
+        in
+        let b =
+          Gpcc_core.Deploy.build
+            ~gpus:
+              [ Gpcc_sim.Config.gtx8800; Gpcc_sim.Config.gtx280;
+                Gpcc_sim.Config.hd5870 ]
+            ~measure k
+        in
+        print_string (Gpcc_core.Deploy.describe b))
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:"Select one optimized version per GPU (Section 4.2)")
+    Term.(const run $ file_arg)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Gpcc_workloads.Workload.t) ->
+        Printf.printf "%-12s %-45s sizes %s\n" w.name w.description
+          (String.concat "," (List.map string_of_int w.sizes)))
+      (Gpcc_workloads.Registry.all @ Gpcc_workloads.Registry.extras)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads") Term.(const run $ const ())
+
+let () =
+  let doc = "an optimizing compiler for naive GPGPU kernels (PLDI 2010 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gpcc" ~version:"1.0.0" ~doc)
+          [ compile_cmd; check_cmd; explore_cmd; deploy_cmd; bench_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/design_space.ml: Gpcc_core Gpcc_sim Gpcc_workloads List Printf String

@@ -1,0 +1,1 @@
+examples/matmul_case_study.ml: Coalesce Gpcc_analysis Gpcc_ast Gpcc_core Gpcc_passes Gpcc_sim Gpcc_workloads List Merge Option Pass_util Printf

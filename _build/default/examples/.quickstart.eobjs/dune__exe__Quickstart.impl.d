@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gpcc_ast Gpcc_core Gpcc_passes Gpcc_sim Option Printf

@@ -1,0 +1,1 @@
+examples/transpose_partition_camping.ml: Gpcc_ast Gpcc_passes Gpcc_sim Gpcc_workloads List Option Printf

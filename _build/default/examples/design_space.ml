@@ -1,0 +1,51 @@
+(** Design-space exploration (the paper's Section 4 and Figure 10): one
+    naive kernel, many optimized versions, empirical selection.
+
+    The merge degrees trade register/shared-memory reuse against
+    occupancy, so the compiler generates a version per configuration and
+    test-runs each — here on the simulator, per target GPU.
+
+    Run with:  dune exec examples/design_space.exe *)
+
+let n = 512
+
+let () =
+  let w = Gpcc_workloads.Registry.find_exn "mm" in
+  let naive = Gpcc_workloads.Workload.parse w n in
+  List.iter
+    (fun cfg ->
+      Printf.printf "\n=== %s, mm %dx%d ===\n" cfg.Gpcc_sim.Config.name n n;
+      Printf.printf "  %-8s %-6s %-14s %-10s %-8s %s\n" "threads" "merge"
+        "launch" "GFLOPS" "occ" "bound";
+      let measure = Gpcc_workloads.Workload.measure ~sample:1 ~streams:4 cfg w n in
+      let cands =
+        Gpcc_core.Explore.search ~cfg
+          ~block_targets:[ 64; 128; 256; 512 ]
+          ~merge_degrees:[ 4; 8; 16; 32 ] naive
+          ~measure:(fun k l -> (measure k l).gflops)
+        |> Gpcc_core.Explore.distinct
+      in
+      List.iter
+        (fun (c : Gpcc_core.Explore.candidate) ->
+          let t = measure c.result.kernel c.result.launch in
+          Printf.printf "  %-8d %-6d (%d,%d)x(%d,%d)%s %-10.1f %-8d %s\n"
+            c.target_block_threads c.merge_degree c.result.launch.grid_x
+            c.result.launch.grid_y c.result.launch.block_x
+            c.result.launch.block_y
+            (String.make
+               (max 1
+                  (14
+                   - String.length
+                       (Printf.sprintf "(%d,%d)x(%d,%d)" c.result.launch.grid_x
+                          c.result.launch.grid_y c.result.launch.block_x
+                          c.result.launch.block_y)))
+               ' ')
+            c.score t.occupancy.blocks_per_sm t.bound)
+        cands;
+      match Gpcc_core.Explore.best cands with
+      | Some b ->
+          Printf.printf
+            "  -> selected: %d threads/block, %d-way thread merge (%.1f GFLOPS)\n"
+            b.target_block_threads b.merge_degree b.score
+      | None -> print_endline "  -> no valid candidate")
+    [ Gpcc_sim.Config.gtx8800; Gpcc_sim.Config.gtx280 ]

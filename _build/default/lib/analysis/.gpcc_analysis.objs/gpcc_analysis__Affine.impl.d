@@ -1,0 +1,1 @@
+lib/analysis/affine.pp.ml: Ast Gpcc_ast List Option Ppx_deriving_runtime Printf String

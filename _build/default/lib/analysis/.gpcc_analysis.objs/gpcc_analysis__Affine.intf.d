@@ -1,0 +1,1 @@
+lib/analysis/affine.pp.mli: Gpcc_ast

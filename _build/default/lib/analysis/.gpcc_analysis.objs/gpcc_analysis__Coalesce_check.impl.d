@@ -1,0 +1,1 @@
+lib/analysis/coalesce_check.pp.ml: Affine Ast Gpcc_ast Layout List Option Pp Ppx_deriving_runtime Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/analysis/coalesce_check.pp.mli: Affine Gpcc_ast

@@ -1,0 +1,1 @@
+lib/analysis/layout.pp.ml: Affine Ast Gpcc_ast List Printf Rewrite

@@ -1,0 +1,1 @@
+lib/analysis/layout.pp.mli: Affine Gpcc_ast

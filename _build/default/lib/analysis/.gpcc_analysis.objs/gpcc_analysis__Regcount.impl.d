@@ -1,0 +1,1 @@
+lib/analysis/regcount.pp.ml: Ast Gpcc_ast List Rewrite

@@ -1,0 +1,1 @@
+lib/analysis/regcount.pp.mli: Gpcc_ast

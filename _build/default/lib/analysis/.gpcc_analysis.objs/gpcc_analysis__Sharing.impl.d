@@ -1,0 +1,1 @@
+lib/analysis/sharing.pp.ml: Affine Ast Coalesce_check Gpcc_ast List Ppx_deriving_runtime Rewrite String

@@ -1,0 +1,1 @@
+lib/analysis/sharing.pp.mli: Gpcc_ast

@@ -1,0 +1,83 @@
+(** Memory layouts of global and shared arrays.
+
+    The paper pads input arrays so that "the row size of each array is a
+    multiple of 16 words" (Section 3.3); we record the padded pitch of every
+    dimension here so that both the analysis (flattened affine addresses)
+    and the simulator (actual allocation) agree on addresses. *)
+
+open Gpcc_ast
+
+type t = {
+  name : string;
+  elt : Ast.scalar;
+  dims : int list;  (** logical extents, outermost first *)
+  pitches : int list;  (** padded extent of each dimension (minor padded) *)
+}
+
+(** Pad to the next multiple of [align] (16 words for coalescing). *)
+let round_up n align = (n + align - 1) / align * align
+
+(** Layout for a declared array; the minor dimension is padded to 16
+    elements unless [pad] is [false]. *)
+let make ?(pad = true) name (a : Ast.array_ty) : t =
+  let rec pitches = function
+    | [] -> []
+    | [ minor ] -> [ (if pad then round_up minor 16 else minor) ]
+    | d :: rest -> d :: pitches rest
+  in
+  { name; elt = a.elt; dims = a.dims; pitches = pitches a.dims }
+
+(** Element stride of each dimension: product of the pitches of the inner
+    dimensions. *)
+let strides (t : t) : int list =
+  let rec go = function
+    | [] -> []
+    | _ :: rest as l ->
+        let inner = List.fold_left ( * ) 1 (List.tl l) in
+        inner :: go rest
+  in
+  go t.pitches
+
+(** Total padded size in elements. *)
+let size_elems (t : t) = List.fold_left ( * ) 1 t.pitches
+
+let size_bytes (t : t) = size_elems t * Ast.scalar_size t.elt
+
+(** Flatten a multi-dimensional affine index into a single element offset. *)
+let flatten (t : t) (indices : Affine.t list) : Affine.t =
+  if List.length indices <> List.length t.dims then
+    invalid_arg
+      (Printf.sprintf "Layout.flatten: %s has rank %d, got %d indices" t.name
+         (List.length t.dims) (List.length indices));
+  List.fold_left2
+    (fun acc idx stride -> Affine.add acc (Affine.scale stride idx))
+    Affine.zero indices (strides t)
+
+(** Layout table for a kernel: one entry per global array parameter and
+    per shared array declared in the body. *)
+type table = (string * t) list
+
+let of_kernel ?(pad = true) (k : Ast.kernel) : table =
+  let from_params =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.p_ty with
+        | Array a -> Some (p.p_name, make ~pad p.p_name a)
+        | Scalar _ -> None)
+      k.k_params
+  in
+  let from_decls =
+    Rewrite.declared_vars k.k_body
+    |> List.filter_map (fun (name, ty) ->
+           match ty with
+           | Ast.Array a -> Some (name, make ~pad:false name a)
+           | Scalar _ -> None)
+  in
+  from_params @ from_decls
+
+let find (tbl : table) name = List.assoc_opt name tbl
+
+let find_exn (tbl : table) name =
+  match find tbl name with
+  | Some l -> l
+  | None -> invalid_arg ("Layout.find_exn: unknown array " ^ name)

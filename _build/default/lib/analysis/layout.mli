@@ -1,0 +1,35 @@
+(** Memory layouts of global and shared arrays. Global arrays pad the
+    minor dimension to 16 words (the paper's Section 3.3 alignment
+    requirement); the analysis and the simulator share these layouts so
+    flattened affine addresses match actual allocation. *)
+
+type t = {
+  name : string;
+  elt : Gpcc_ast.Ast.scalar;
+  dims : int list;  (** logical extents, outermost first *)
+  pitches : int list;  (** padded extents (minor padded) *)
+}
+
+val round_up : int -> int -> int
+
+(** Layout for an array type; minor dimension padded unless [pad:false]
+    (shared arrays keep their declared shape). *)
+val make : ?pad:bool -> string -> Gpcc_ast.Ast.array_ty -> t
+
+(** Element stride of each dimension. *)
+val strides : t -> int list
+
+val size_elems : t -> int
+val size_bytes : t -> int
+
+(** Flatten a multi-dimensional affine index into one element offset.
+    Raises [Invalid_argument] on rank mismatch. *)
+val flatten : t -> Affine.t list -> Affine.t
+
+type table = (string * t) list
+
+(** One entry per global array parameter and shared declaration. *)
+val of_kernel : ?pad:bool -> Gpcc_ast.Ast.kernel -> table
+
+val find : table -> string -> t option
+val find_exn : table -> string -> t

@@ -1,0 +1,55 @@
+(** Per-thread register-pressure estimation.
+
+    The paper's compiler balances register-based data reuse (thread merge,
+    prefetching) against the number of active threads an SM can hold; both
+    decisions need an estimate of registers per thread. We count, like a
+    simple graph-coloring-free allocator would:
+    - one 32-bit register per live scalar declaration (vectors count their
+      width) and per loop iterator,
+    - one per scalar kernel parameter (kept in a register),
+    - a fixed overhead for address arithmetic and the thread-position
+      values the kernel actually uses. *)
+
+open Gpcc_ast
+
+let base_overhead = 4  (* address computation temporaries, kernel pointer *)
+
+let estimate (k : Ast.kernel) : int =
+  let decls =
+    Rewrite.declared_vars k.k_body
+    |> List.fold_left
+         (fun acc (_, ty) ->
+           match ty with
+           | Ast.Scalar s -> acc + Ast.scalar_regs s
+           | Ast.Array { space = Shared | Global; _ } -> acc
+           | Ast.Array { space = Register; elt; dims } ->
+               (* register arrays (unrolled): full footprint *)
+               acc + (Ast.scalar_regs elt * List.fold_left ( * ) 1 dims))
+         0
+  in
+  let params =
+    List.fold_left
+      (fun acc (p : Ast.param) ->
+        match p.p_ty with
+        | Scalar s -> acc + Ast.scalar_regs s
+        | Array _ -> acc + 1 (* base pointer *))
+      0 k.k_params
+  in
+  let builtin_regs =
+    List.length
+      (List.filter
+         (fun b -> Rewrite.block_uses_builtin b k.k_body)
+         [ Idx; Idy; Tidx; Tidy ])
+  in
+  base_overhead + decls + params + builtin_regs
+
+(** Shared memory consumed by one thread block, in bytes. *)
+let shared_bytes (k : Ast.kernel) : int =
+  Rewrite.declared_vars k.k_body
+  |> List.fold_left
+       (fun acc (_, ty) ->
+         match ty with
+         | Ast.Array { space = Shared; elt; dims } ->
+             acc + (Ast.scalar_size elt * List.fold_left ( * ) 1 dims)
+         | _ -> acc)
+       0

@@ -1,0 +1,5 @@
+(** Per-thread register-pressure and per-block shared-memory estimation,
+    feeding occupancy (Section 2c) and the prefetch/merge decisions. *)
+
+val estimate : Gpcc_ast.Ast.kernel -> int
+val shared_bytes : Gpcc_ast.Ast.kernel -> int

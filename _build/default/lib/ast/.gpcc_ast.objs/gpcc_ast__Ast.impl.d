@@ -1,0 +1,1 @@
+lib/ast/ast.pp.ml: List Ppx_deriving_runtime String

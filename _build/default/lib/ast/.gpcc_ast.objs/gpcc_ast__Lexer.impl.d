@@ -1,0 +1,1 @@
+lib/ast/lexer.pp.ml: List Printf String

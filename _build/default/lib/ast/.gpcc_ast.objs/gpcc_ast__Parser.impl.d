@@ -1,0 +1,1 @@
+lib/ast/parser.pp.ml: Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/ast/parser.pp.mli: Ast

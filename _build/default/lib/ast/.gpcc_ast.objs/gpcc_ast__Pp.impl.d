@@ -1,0 +1,1 @@
+lib/ast/pp.pp.ml: Ast Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/ast/pp.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/ast/rewrite.pp.ml: Ast List Option Printf String

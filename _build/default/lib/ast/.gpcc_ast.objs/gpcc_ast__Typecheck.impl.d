@@ -1,0 +1,1 @@
+lib/ast/typecheck.pp.ml: Ast List Pp Printf String

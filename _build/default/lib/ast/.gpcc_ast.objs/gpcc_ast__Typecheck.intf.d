@@ -1,0 +1,1 @@
+lib/ast/typecheck.pp.mli: Ast

@@ -1,0 +1,319 @@
+(** Abstract syntax of the mini-CUDA kernel language.
+
+    The language is the input and output of the optimizing compiler: a
+    structured, C-like kernel language with the CUDA builtins the paper's
+    analyses depend on ([idx], [idy], [tidx], [tidy], block/grid ids and
+    dims), [__shared__] declarations, [__syncthreads()], and a
+    [__global_sync()] grid barrier for naive reduction-style kernels.
+
+    Design choices that matter to the compiler:
+    - array accesses are always rooted at a name ([Index (a, [e1; e2])]),
+      which keeps the affine index analysis of the paper's Section 3.2
+      syntactic;
+    - [for] loops are structured ([l_var] from [l_init] while [< l_limit]
+      stepping by [l_step]), mirroring the loop shapes the paper analyzes;
+    - array shapes are compile-time constants: the compiler specializes one
+      kernel version per input size, exactly as the paper generates
+      per-input-size versions for its empirical search. *)
+
+type scalar =
+  | Int
+  | Float
+  | Float2
+  | Float4
+  | Bool
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Memory space of a declaration or array parameter. [Register] is the
+    default for kernel-local scalars. *)
+type space =
+  | Global
+  | Shared
+  | Register
+[@@deriving show { with_path = false }, eq, ord]
+
+type array_ty = {
+  elt : scalar;
+  space : space;
+  dims : int list;  (** outermost first; row-major *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type ty =
+  | Scalar of scalar
+  | Array of array_ty
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Thread-position builtins. [Idx]/[Idy] are the absolute element
+    coordinates ([bidx*bdimx + tidx] and [bidy*bdimy + tidy]); the paper
+    writes naive kernels purely in terms of them. *)
+type builtin =
+  | Idx
+  | Idy
+  | Tidx
+  | Tidy
+  | Bidx
+  | Bidy
+  | Bdimx
+  | Bdimy
+  | Gdimx
+  | Gdimy
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop =
+  | Neg
+  | Not
+[@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+[@@deriving show { with_path = false }, eq, ord]
+
+type field =
+  | FX
+  | FY
+  | FZ
+  | FW
+[@@deriving show { with_path = false }, eq, ord]
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Builtin of builtin
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Index of string * expr list
+      (** [a[e1][e2]...] — multi-dimensional array access rooted at a name *)
+  | Vload of vload
+      (** vector load, result of the vectorization pass: reads [width]
+          consecutive floats of array [arr] starting at element
+          [width*index] (pretty-printed as [((float2* )a)\[index\]]) *)
+  | Field of expr * field  (** [e.x], [e.y], ... on vector values *)
+  | Call of string * expr list  (** intrinsics: sqrtf, fmaxf, ... *)
+  | Select of expr * expr * expr  (** [c ? a : b] *)
+[@@deriving show { with_path = false }, eq, ord]
+
+and vload = {
+  v_arr : string;
+  v_width : int;  (** 2 or 4 *)
+  v_index : expr;  (** in units of the vector type *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr list
+  | Lfield of lvalue * field
+  | Lvec of vload
+      (** vector store target, result of wide vectorization:
+          [((float2* )c)\[index\] = v] writes [width] consecutive floats *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type stmt =
+  | Decl of decl
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | For of loop
+  | Sync  (** [__syncthreads()] *)
+  | Global_sync
+      (** grid-wide barrier, only legal at kernel top level; used by naive
+          reduction kernels (paper Section 3, "a global sync function is
+          supported in the naive kernel") *)
+  | Comment of string
+      (** carried through passes so the optimized output stays readable *)
+[@@deriving show { with_path = false }, eq, ord]
+
+and decl = {
+  d_name : string;
+  d_ty : ty;
+  d_init : expr option;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+and loop = {
+  l_var : string;
+  l_init : expr;
+  l_limit : expr;  (** loop runs while [l_var < l_limit] *)
+  l_step : expr;  (** positive increment *)
+  l_body : block;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+and block = stmt list [@@deriving show { with_path = false }, eq, ord]
+
+type param = {
+  p_name : string;
+  p_ty : ty;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type kernel = {
+  k_name : string;
+  k_params : param list;
+  k_body : block;
+  k_output : string list;
+      (** names of output arrays, from [#pragma gpcc output] — lets the
+          compiler drop global writes to temporaries staged in shared
+          memory *)
+  k_sizes : (string * int) list;
+      (** compile-time bindings for scalar [int] parameters, from
+          [#pragma gpcc dim name value] *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Kernel launch configuration, the second output of the compiler
+    ("the compiler generates the optimized kernel and the parameters
+    (i.e., the thread grid & block dimensions)"). *)
+type launch = {
+  grid_x : int;
+  grid_y : int;
+  block_x : int;
+  block_y : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+let threads_per_block l = l.block_x * l.block_y
+let total_blocks l = l.grid_x * l.grid_y
+
+let scalar_size = function
+  | Int | Float | Bool -> 4
+  | Float2 -> 8
+  | Float4 -> 16
+
+(** Number of 32-bit registers a value of this scalar type occupies. *)
+let scalar_regs = function
+  | Int | Float | Bool -> 1
+  | Float2 -> 2
+  | Float4 -> 4
+
+let builtin_name = function
+  | Idx -> "idx"
+  | Idy -> "idy"
+  | Tidx -> "tidx"
+  | Tidy -> "tidy"
+  | Bidx -> "bidx"
+  | Bidy -> "bidy"
+  | Bdimx -> "bdimx"
+  | Bdimy -> "bdimy"
+  | Gdimx -> "gdimx"
+  | Gdimy -> "gdimy"
+
+let builtin_of_name = function
+  | "idx" -> Some Idx
+  | "idy" -> Some Idy
+  | "tidx" -> Some Tidx
+  | "tidy" -> Some Tidy
+  | "bidx" -> Some Bidx
+  | "bidy" -> Some Bidy
+  | "bdimx" -> Some Bdimx
+  | "bdimy" -> Some Bdimy
+  | "gdimx" -> Some Gdimx
+  | "gdimy" -> Some Gdimy
+  | _ -> None
+
+let field_name = function FX -> "x" | FY -> "y" | FZ -> "z" | FW -> "w"
+
+let field_of_name = function
+  | "x" -> Some FX
+  | "y" -> Some FY
+  | "z" -> Some FZ
+  | "w" -> Some FW
+  | _ -> None
+
+(* Convenience constructors, used heavily by passes and tests. *)
+
+let int n = Int_lit n
+let flt f = Float_lit f
+let var v = Var v
+let idx = Builtin Idx
+let idy = Builtin Idy
+let tidx = Builtin Tidx
+let tidy = Builtin Tidy
+let bidx = Builtin Bidx
+let bidy = Builtin Bidy
+let bdimx = Builtin Bdimx
+let bdimy = Builtin Bdimy
+
+let ( +: ) a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (x + y)
+  | e, Int_lit 0 | Int_lit 0, e -> e
+  | _ -> Binop (Add, a, b)
+
+let ( -: ) a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (x - y)
+  | e, Int_lit 0 -> e
+  | _ -> Binop (Sub, a, b)
+
+let ( *: ) a b =
+  match (a, b) with
+  | Int_lit x, Int_lit y -> Int_lit (x * y)
+  | Int_lit 1, e | e, Int_lit 1 -> e
+  | (Int_lit 0 as z), _ | _, (Int_lit 0 as z) -> z
+  | _ -> Binop (Mul, a, b)
+
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Mod, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+
+let lv_name = function
+  | Lvar v -> v
+  | Lindex (v, _) -> v
+  | Lfield (Lvar v, _) | Lfield (Lindex (v, _), _) -> v
+  | Lvec { v_arr; _ } -> v_arr
+  | Lfield ((Lfield _ | Lvec _), _) -> invalid_arg "lv_name: nested field"
+
+let decl_f ?init name = Decl { d_name = name; d_ty = Scalar Float; d_init = init }
+let decl_i ?init name = Decl { d_name = name; d_ty = Scalar Int; d_init = init }
+
+let decl_shared name dims =
+  Decl
+    {
+      d_name = name;
+      d_ty = Array { elt = Float; space = Shared; dims };
+      d_init = None;
+    }
+
+let assign lv e = Assign (lv, e)
+
+(** [accum lv e] builds [lv += e] (represented as [lv = lv + e]; the
+    pretty-printer recovers the [+=] form). *)
+let accum lv e =
+  let as_expr = function
+    | Lvar v -> Var v
+    | Lindex (v, es) -> Index (v, es)
+    | Lfield (Lvar v, f) -> Field (Var v, f)
+    | Lfield (Lindex (v, es), f) -> Field (Index (v, es), f)
+    | Lvec vl -> Vload vl
+    | Lfield ((Lfield _ | Lvec _), _) -> invalid_arg "accum: nested field"
+  in
+  Assign (lv, Binop (Add, as_expr lv, e))
+
+let for_ l_var ~from:l_init ~limit:l_limit ~step:l_step l_body =
+  For { l_var; l_init; l_limit; l_step; l_body }
+
+(** Look up the compile-time value of an [int] size parameter. *)
+let size_of kernel name = List.assoc_opt name kernel.k_sizes
+
+let param_ty kernel name =
+  List.find_map
+    (fun p -> if String.equal p.p_name name then Some p.p_ty else None)
+    kernel.k_params
+
+let is_output kernel name = List.exists (String.equal name) kernel.k_output

@@ -1,0 +1,404 @@
+(** Recursive-descent parser for the mini-CUDA kernel language.
+
+    Menhir is not available in this environment, and a hand-written parser
+    also reads well — in keeping with the paper's emphasis on code
+    understandability. Grammar sketch:
+
+    {v
+    kernel  ::= pragma* ("__kernel"|"__global__") "void" ident "(" params ")" block
+    param   ::= type ident ("[" int "]")*
+    stmt    ::= decl | assign | if | for | "__syncthreads" "(" ")" ";"
+              | "__global_sync" "(" ")" ";"
+    decl    ::= "__shared__"? type ident ("[" int "]")* ("=" expr)? ";"
+    assign  ::= lvalue ("="|"+="|"-="|"*="|"/=") expr ";"
+    for     ::= "for" "(" "int" ident "=" expr ";" ident "<" expr ";"
+                (ident "++" | ident "+=" expr) ")" stmt-or-block
+    expr    ::= ternary with C precedence
+    v} *)
+
+open Ast
+
+exception Error of string * int
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+}
+
+let current st =
+  match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let peek st = fst (current st)
+let line st = snd (current st)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (got %s)" msg (Lexer.token_to_string (peek st)), line st))
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" p)
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.KW q when String.equal k q -> advance st
+  | _ -> fail st (Printf.sprintf "expected keyword '%s'" k)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT v ->
+      advance st;
+      v
+  | _ -> fail st "expected identifier"
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | _ -> fail st "expected integer literal"
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q ->
+      advance st;
+      true
+  | _ -> false
+
+let scalar_of_kw = function
+  | "int" -> Some Int
+  | "float" -> Some Float
+  | "float2" -> Some Float2
+  | "float4" -> Some Float4
+  | "bool" -> Some Bool
+  | _ -> None
+
+(* --- expressions: precedence climbing --- *)
+
+let binop_of_punct = function
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "<" -> Some (Lt, 8)
+  | "<=" -> Some (Le, 8)
+  | ">" -> Some (Gt, 8)
+  | ">=" -> Some (Ge, 8)
+  | "==" -> Some (Eq, 7)
+  | "!=" -> Some (Ne, 7)
+  | "&&" -> Some (And, 5)
+  | "||" -> Some (Or, 4)
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_binary st 0 in
+  if accept_punct st "?" then begin
+    let t = parse_ternary st in
+    expect_punct st ":";
+    let f = parse_ternary st in
+    Select (c, t, f)
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            advance st;
+            let rhs = parse_binary st (prec + 1) in
+            lhs := Binop (op, !lhs, rhs)
+        | _ -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept_punct st "-" then Unop (Neg, parse_unary st)
+  else if accept_punct st "!" then Unop (Not, parse_unary st)
+  else if accept_punct st "+" then parse_unary st
+  else parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    if accept_punct st "[" then begin
+      let i = parse_expr st in
+      expect_punct st "]";
+      match !e with
+      | Var a -> e := Index (a, [ i ])
+      | Index (a, es) -> e := Index (a, es @ [ i ])
+      | _ -> fail st "array index on a non-array expression"
+    end
+    else if accept_punct st "." then begin
+      let f = expect_ident st in
+      match field_of_name f with
+      | Some f -> e := Field (!e, f)
+      | None -> fail st ("unknown vector field ." ^ f)
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Int_lit n
+  | Lexer.FLOAT f ->
+      advance st;
+      Float_lit f
+  | Lexer.PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | Lexer.IDENT v -> (
+      advance st;
+      if accept_punct st "(" then begin
+        let args = ref [] in
+        if not (accept_punct st ")") then begin
+          args := [ parse_expr st ];
+          while accept_punct st "," do
+            args := parse_expr st :: !args
+          done;
+          expect_punct st ")"
+        end;
+        Call (v, List.rev !args)
+      end
+      else
+        match builtin_of_name v with
+        | Some b -> Builtin b
+        | None -> Var v)
+  | _ -> fail st "expected expression"
+
+(* --- lvalues --- *)
+
+let lvalue_of_expr st e =
+  let rec go = function
+    | Var v -> Lvar v
+    | Index (a, es) -> Lindex (a, es)
+    | Field (inner, f) -> Lfield (go inner, f)
+    | _ -> fail st "expression is not assignable"
+  in
+  go e
+
+(* --- statements --- *)
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | Lexer.KW "__syncthreads" ->
+      advance st;
+      expect_punct st "(";
+      expect_punct st ")";
+      expect_punct st ";";
+      Sync
+  | Lexer.KW "__global_sync" ->
+      advance st;
+      expect_punct st "(";
+      expect_punct st ")";
+      expect_punct st ";";
+      Global_sync
+  | Lexer.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let t = parse_stmt_or_block st in
+      let f =
+        match peek st with
+        | Lexer.KW "else" ->
+            advance st;
+            parse_stmt_or_block st
+        | _ -> []
+      in
+      If (c, t, f)
+  | Lexer.KW "for" ->
+      advance st;
+      expect_punct st "(";
+      expect_kw st "int";
+      let v = expect_ident st in
+      expect_punct st "=";
+      let init = parse_expr st in
+      expect_punct st ";";
+      let v2 = expect_ident st in
+      if not (String.equal v v2) then fail st "loop condition must test the loop variable";
+      expect_punct st "<";
+      let limit = parse_expr st in
+      expect_punct st ";";
+      let v3 = expect_ident st in
+      if not (String.equal v v3) then fail st "loop step must update the loop variable";
+      let step =
+        if accept_punct st "++" then Int_lit 1
+        else begin
+          expect_punct st "+=";
+          parse_expr st
+        end
+      in
+      expect_punct st ")";
+      let body = parse_stmt_or_block st in
+      For { l_var = v; l_init = init; l_limit = limit; l_step = step; l_body = body }
+  | Lexer.KW ("__shared__" | "int" | "float" | "float2" | "float4" | "bool") ->
+      parse_decl st
+  | _ ->
+      (* assignment *)
+      let e = parse_expr st in
+      let lv = lvalue_of_expr st e in
+      let stmt =
+        match peek st with
+        | Lexer.PUNCT "=" ->
+            advance st;
+            Assign (lv, parse_expr st)
+        | Lexer.PUNCT (("+=" | "-=" | "*=" | "/=") as p) ->
+            advance st;
+            let rhs = parse_expr st in
+            let op =
+              match p with
+              | "+=" -> Add
+              | "-=" -> Sub
+              | "*=" -> Mul
+              | _ -> Div
+            in
+            Assign (lv, Binop (op, e, rhs))
+        | _ -> fail st "expected assignment operator"
+      in
+      expect_punct st ";";
+      stmt
+
+and parse_decl st : stmt =
+  let space =
+    match peek st with
+    | Lexer.KW "__shared__" ->
+        advance st;
+        Shared
+    | _ -> Register
+  in
+  let elt =
+    match peek st with
+    | Lexer.KW k -> (
+        match scalar_of_kw k with
+        | Some s ->
+            advance st;
+            s
+        | None -> fail st "expected a type")
+    | _ -> fail st "expected a type"
+  in
+  let name = expect_ident st in
+  let dims = ref [] in
+  while accept_punct st "[" do
+    dims := expect_int st :: !dims;
+    expect_punct st "]"
+  done;
+  let dims = List.rev !dims in
+  let ty =
+    if dims = [] then Scalar elt else Array { elt; space; dims }
+  in
+  if space = Shared && dims = [] then fail st "__shared__ requires an array";
+  let init = if accept_punct st "=" then Some (parse_expr st) else None in
+  expect_punct st ";";
+  Decl { d_name = name; d_ty = ty; d_init = init }
+
+and parse_stmt_or_block st : block =
+  if accept_punct st "{" then begin
+    let stmts = ref [] in
+    while not (accept_punct st "}") do
+      if peek st = Lexer.EOF then fail st "unterminated block";
+      stmts := parse_stmt st :: !stmts
+    done;
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+(* --- kernel --- *)
+
+let parse_param st : param =
+  let elt =
+    match peek st with
+    | Lexer.KW k -> (
+        match scalar_of_kw k with
+        | Some s ->
+            advance st;
+            s
+        | None -> fail st "expected parameter type")
+    | _ -> fail st "expected parameter type"
+  in
+  let name = expect_ident st in
+  let dims = ref [] in
+  while accept_punct st "[" do
+    dims := expect_int st :: !dims;
+    expect_punct st "]"
+  done;
+  let dims = List.rev !dims in
+  let ty =
+    if dims = [] then Scalar elt
+    else Array { elt; space = Global; dims }
+  in
+  { p_name = name; p_ty = ty }
+
+let parse_kernel_body st =
+  (* pragmas *)
+  let sizes = ref [] in
+  let output = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PRAGMA words -> (
+        advance st;
+        match words with
+        | [ "dim"; name; value ] -> (
+            match int_of_string_opt value with
+            | Some v -> sizes := (name, v) :: !sizes
+            | None -> fail st "pragma dim expects an integer value")
+        | "output" :: names -> output := !output @ names
+        | _ -> fail st "unknown #pragma gpcc directive")
+    | _ -> continue := false
+  done;
+  (match peek st with
+  | Lexer.KW ("__kernel" | "__global__") -> advance st
+  | _ -> fail st "expected __kernel or __global__");
+  expect_kw st "void";
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params = ref [] in
+  if not (accept_punct st ")") then begin
+    params := [ parse_param st ];
+    while accept_punct st "," do
+      params := parse_param st :: !params
+    done;
+    expect_punct st ")"
+  end;
+  let body = parse_stmt_or_block st in
+  {
+    k_name = name;
+    k_params = List.rev !params;
+    k_body = body;
+    k_output = !output;
+    k_sizes = List.rev !sizes;
+  }
+
+(** Parse one kernel from source text. *)
+let kernel_of_string (src : string) : kernel =
+  let st = { toks = Lexer.tokenize src } in
+  let k = parse_kernel_body st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing input after kernel");
+  k
+
+(** Parse a single expression (handy in tests). *)
+let expr_of_string (src : string) : expr =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing input after expression");
+  e

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the mini-CUDA kernel language. *)
+
+exception Error of string * int  (** message, 1-based source line *)
+
+(** Parse one kernel (pragmas, signature, body) from source text.
+    Raises {!Error} or {!Lexer.Error} on malformed input. *)
+val kernel_of_string : string -> Ast.kernel
+
+(** Parse a single expression (used by tests and tools). *)
+val expr_of_string : string -> Ast.expr

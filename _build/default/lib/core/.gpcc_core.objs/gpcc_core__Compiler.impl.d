@@ -1,0 +1,1 @@
+lib/core/compiler.pp.ml: Ast Buffer Coalesce Gpcc_analysis Gpcc_ast Gpcc_passes Gpcc_sim Licm List Merge Option Partition_camp Pass_util Prefetch Printf Typecheck Vectorize Vectorize_wide

@@ -1,0 +1,1 @@
+lib/core/compiler.pp.mli: Gpcc_ast Gpcc_sim

@@ -1,0 +1,1 @@
+lib/core/deploy.pp.ml: Buffer Compiler Explore Gpcc_ast Gpcc_sim List Printf String

@@ -1,0 +1,1 @@
+lib/core/deploy.pp.mli: Compiler Explore Gpcc_ast Gpcc_sim

@@ -1,0 +1,1 @@
+lib/core/explore.pp.ml: Ast Compiler Float Gpcc_ast Gpcc_sim List Pp

@@ -1,0 +1,1 @@
+lib/core/explore.pp.mli: Compiler Gpcc_ast Gpcc_sim

@@ -1,0 +1,52 @@
+(** The optimizing-compiler driver: the paper's Figure 1 pipeline.
+
+    Input: a parsed naive kernel (one output element per thread, all
+    arrays in global memory). Output: the optimized kernel, the launch
+    configuration, and a per-pass report. *)
+
+type options = {
+  cfg : Gpcc_sim.Config.t;  (** target machine description *)
+  target_block_threads : int;  (** 128 / 256 / 512 (Section 4.1) *)
+  merge_degree : int;  (** threads merged into one: 4 / 8 / 16 / 32 *)
+  enable_vectorize : bool;
+  enable_coalesce : bool;
+  enable_merge : bool;
+  enable_prefetch : bool;
+  enable_partition : bool;
+}
+
+val default_options : ?cfg:Gpcc_sim.Config.t -> unit -> options
+
+type step = {
+  step_name : string;
+  fired : bool;
+  notes : string list;
+  kernel_after : Gpcc_ast.Ast.kernel;
+  launch_after : Gpcc_ast.Ast.launch;
+}
+
+type result = {
+  kernel : Gpcc_ast.Ast.kernel;
+  launch : Gpcc_ast.Ast.launch;
+  steps : step list;
+}
+
+exception Compile_error of string
+
+(** Run the full pipeline. Raises {!Compile_error} when the thread domain
+    cannot be derived (no output array and no [__threads_x] pragma) or
+    the result fails the internal type check. *)
+val run : ?opts:options -> Gpcc_ast.Ast.kernel -> result
+
+(** Cumulative pipeline prefixes, for the paper's Figure 12: one
+    [(label, kernel, launch)] per stage, starting from the naive kernel
+    with its natural hand-written launch. *)
+val staged :
+  ?cfg:Gpcc_sim.Config.t ->
+  ?target_block_threads:int ->
+  ?merge_degree:int ->
+  Gpcc_ast.Ast.kernel ->
+  (string * Gpcc_ast.Ast.kernel * Gpcc_ast.Ast.launch) list
+
+(** Human-readable per-pass report of a compilation. *)
+val report : result -> string

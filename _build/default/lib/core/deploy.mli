@@ -1,0 +1,28 @@
+(** Per-hardware deployment (paper Section 4.2): one empirically selected
+    kernel version per machine description. *)
+
+type entry = {
+  gpu : Gpcc_sim.Config.t;
+  chosen : Explore.candidate;
+  alternatives : int;  (** distinct versions considered for this GPU *)
+}
+
+type bundle = {
+  kernel_name : string;
+  entries : entry list;
+}
+
+exception No_version of string
+
+val build :
+  ?gpus:Gpcc_sim.Config.t list ->
+  measure:
+    (Gpcc_sim.Config.t -> Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float) ->
+  Gpcc_ast.Ast.kernel ->
+  bundle
+
+(** The version selected for a GPU (by config name); raises
+    {!No_version}. *)
+val pick : bundle -> string -> Compiler.result
+
+val describe : bundle -> string

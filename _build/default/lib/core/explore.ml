@@ -1,0 +1,81 @@
+(** Design-space exploration (paper Section 4).
+
+    The number of threads per block (via thread-block merge) and the
+    number of threads merged into one (via thread merge) interact
+    non-linearly with occupancy and reuse, so — exactly like the paper —
+    the compiler generates one kernel version per configuration and picks
+    the best by empirically running each one (here: on the simulator; in
+    the paper: on the GPU).
+
+    Candidate configurations follow Section 4.1: 128, 256 or 512 threads
+    per block, and thread-merge degrees 4, 8, 16 or 32. *)
+
+open Gpcc_ast
+
+type candidate = {
+  target_block_threads : int;
+  merge_degree : int;
+  result : Compiler.result;
+  score : float;  (** measured GFLOPS (higher is better) *)
+}
+
+let default_block_targets = [ 16; 32; 64; 128; 256; 512 ]
+let default_merge_degrees = [ 1; 4; 8; 16; 32 ]
+
+(** Compile every configuration and score it with [measure] (which
+    typically runs the kernel on the simulator with the intended input
+    sizes). Configurations that fail to compile are dropped. *)
+let search ?(cfg = Gpcc_sim.Config.gtx280)
+    ?(block_targets = default_block_targets)
+    ?(merge_degrees = default_merge_degrees) (naive : Ast.kernel)
+    ~(measure : Ast.kernel -> Ast.launch -> float) : candidate list =
+  List.concat_map
+    (fun target_block_threads ->
+      List.filter_map
+        (fun merge_degree ->
+          let opts =
+            {
+              (Compiler.default_options ~cfg ()) with
+              target_block_threads;
+              merge_degree;
+            }
+          in
+          match Compiler.run ~opts naive with
+          | result ->
+              let score =
+                match measure result.kernel result.launch with
+                | s -> s
+                | exception _ -> Float.neg_infinity
+              in
+              Some { target_block_threads; merge_degree; result; score }
+          | exception _ -> None)
+        merge_degrees)
+    block_targets
+
+(** Deduplicate candidates that compiled to the same kernel (different
+    knobs can coincide), keeping the first. *)
+let distinct (cands : candidate list) : candidate list =
+  let seen = ref [] in
+  List.filter
+    (fun c ->
+      let key = Pp.kernel_to_string ~launch:c.result.launch c.result.kernel in
+      if List.mem key !seen then false
+      else begin
+        seen := key :: !seen;
+        true
+      end)
+    cands
+
+let best (cands : candidate list) : candidate option =
+  List.fold_left
+    (fun acc c ->
+      match acc with
+      | None -> Some c
+      | Some b -> if c.score > b.score then Some c else acc)
+    None cands
+
+(** One-call empirical search, as the paper's compiler does before
+    emitting the final version. *)
+let pick ?cfg ?block_targets ?merge_degrees naive ~measure :
+    candidate option =
+  best (search ?cfg ?block_targets ?merge_degrees naive ~measure)

@@ -1,0 +1,39 @@
+(** Design-space exploration (paper Section 4): generate one kernel
+    version per (threads-per-block, thread-merge-degree) configuration and
+    select the best by empirically running each — on the simulator here,
+    on the GPU in the paper. *)
+
+type candidate = {
+  target_block_threads : int;
+  merge_degree : int;
+  result : Compiler.result;
+  score : float;  (** measured GFLOPS (higher is better) *)
+}
+
+val default_block_targets : int list
+val default_merge_degrees : int list
+
+(** Compile every configuration and score it with [measure]; failing
+    configurations are dropped, failing measurements score [-inf]. *)
+val search :
+  ?cfg:Gpcc_sim.Config.t ->
+  ?block_targets:int list ->
+  ?merge_degrees:int list ->
+  Gpcc_ast.Ast.kernel ->
+  measure:(Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float) ->
+  candidate list
+
+(** Drop candidates whose kernel and launch coincide with an earlier one
+    (different knobs often converge to the same version). *)
+val distinct : candidate list -> candidate list
+
+val best : candidate list -> candidate option
+
+(** [search] followed by [best]. *)
+val pick :
+  ?cfg:Gpcc_sim.Config.t ->
+  ?block_targets:int list ->
+  ?merge_degrees:int list ->
+  Gpcc_ast.Ast.kernel ->
+  measure:(Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float) ->
+  candidate option

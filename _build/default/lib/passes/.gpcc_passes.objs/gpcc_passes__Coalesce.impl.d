@@ -1,0 +1,1 @@
+lib/passes/coalesce.pp.ml: Affine Ast Coalesce_check Gpcc_analysis Gpcc_ast Layout List Option Pass_util Pp Printf Rewrite String

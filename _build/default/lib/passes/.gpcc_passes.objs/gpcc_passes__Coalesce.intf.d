@@ -1,0 +1,1 @@
+lib/passes/coalesce.pp.mli: Gpcc_ast Pass_util

@@ -1,0 +1,1 @@
+lib/passes/licm.pp.ml: Ast Gpcc_ast List Pass_util Printf Rewrite

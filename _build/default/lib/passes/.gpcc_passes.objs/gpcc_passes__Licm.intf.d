@@ -1,0 +1,1 @@
+lib/passes/licm.pp.mli: Gpcc_ast Pass_util

@@ -1,0 +1,1 @@
+lib/passes/merge.pp.ml: Affine Array Ast Coalesce_check Gpcc_analysis Gpcc_ast Hashtbl List Option Pass_util Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/passes/merge.pp.mli: Gpcc_ast Pass_util

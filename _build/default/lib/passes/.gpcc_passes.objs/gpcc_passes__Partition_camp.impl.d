@@ -1,0 +1,1 @@
+lib/passes/partition_camp.pp.ml: Affine Ast Coalesce_check Gpcc_analysis Gpcc_ast Gpcc_sim List Pass_util Printf Rewrite String

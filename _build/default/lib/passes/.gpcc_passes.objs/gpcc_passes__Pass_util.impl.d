@@ -1,0 +1,1 @@
+lib/passes/pass_util.pp.ml: Ast Gpcc_ast List Rewrite

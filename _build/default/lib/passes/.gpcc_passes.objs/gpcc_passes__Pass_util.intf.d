@@ -1,0 +1,1 @@
+lib/passes/pass_util.pp.mli: Gpcc_ast

@@ -1,0 +1,1 @@
+lib/passes/prefetch.pp.ml: Ast Gpcc_analysis Gpcc_ast Gpcc_sim List Pass_util Printf Rewrite

@@ -1,0 +1,1 @@
+lib/passes/prefetch.pp.mli: Gpcc_ast Gpcc_sim Pass_util

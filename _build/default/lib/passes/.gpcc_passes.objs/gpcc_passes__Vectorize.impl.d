@@ -1,0 +1,1 @@
+lib/passes/vectorize.pp.ml: Affine Ast Gpcc_analysis Gpcc_ast List Pass_util Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/passes/vectorize.pp.mli: Gpcc_ast Pass_util

@@ -1,0 +1,1 @@
+lib/passes/vectorize_wide.pp.ml: Ast Gpcc_ast List Option Pass_util Printf

@@ -1,0 +1,1 @@
+lib/passes/vectorize_wide.pp.mli: Gpcc_ast Pass_util

@@ -1,0 +1,18 @@
+(** Converting non-coalesced accesses into coalesced ones (paper
+    Section 3.3) by staging through shared memory:
+
+    - loop staging ([a[idy][i]]): unroll the loop by 16, load the segment
+      cooperatively, read [shared[k]] (Figure 3a);
+    - row-loop staging ([a[idx][i]]): introduce a row loop filling a
+      padded 16x17 tile (Figure 3b);
+    - apron staging (misaligned stencil neighborhoods): widened row
+      buffers loaded by a cooperative strided loop;
+    - strided destaging (interleaved complex layouts when vectorization
+      is off);
+    - idx/idy exchange for transpose-like stores (block grows to 16x16).
+
+    Accesses under thread-dependent control flow, with unresolved
+    indices, or whose staged data would have no reuse are left as is,
+    with an explanatory note. *)
+
+val apply : Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> Pass_util.outcome

@@ -1,0 +1,6 @@
+(** Loop-invariant code motion for thread-position arithmetic: hoists,
+    out of nested loops, integer expressions built only from builtins and
+    constants (the address/guard arithmetic thread merge replicates), at
+    the classic cost of one register per hoisted value. *)
+
+val apply : Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> Pass_util.outcome

@@ -1,0 +1,30 @@
+(** Thread-block merge and thread merge (paper Section 3.5) — the paper's
+    novel route to loop tiling and unrolling by aggregating fine-grain
+    work items. *)
+
+type direction =
+  | X
+  | Y
+
+(** Merge [n] neighboring thread blocks along X into one. Stagings whose
+    data is shared across the merged sub-blocks are guarded with
+    [if (tidx < old_width)] (paper Figure 5); cooperative staging loops
+    rescale to the new width; per-sub-block tiles are privatized (a
+    leading [n] dimension indexed by [tidx / old_width]). Refused (with a
+    note) when a staging cannot be classified. *)
+val block_merge_x :
+  Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> int -> Pass_util.outcome
+
+(** Merge the threads of [n] neighboring blocks along a direction into
+    one thread each: direction-dependent statements are replicated with
+    substituted positions and renamed locals (paper Figure 7), control
+    flow and direction-independent statements keep one copy, and
+    direction-invariant global loads inside replicated statements are
+    hoisted into a register shared by all replicas — the G2R register
+    reuse that drives the paper's merge selection. *)
+val thread_merge :
+  direction ->
+  Gpcc_ast.Ast.kernel ->
+  Gpcc_ast.Ast.launch ->
+  int ->
+  Pass_util.outcome

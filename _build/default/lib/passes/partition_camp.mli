@@ -1,0 +1,23 @@
+(** Partition-camping elimination (paper Section 3.7).
+
+    Detection flags global accesses whose block-to-block address stride is
+    a non-zero multiple of (partition width x number of partitions).
+    Elimination inserts a per-block address offset that rotates 1-D
+    reduction sweeps, or applies diagonal block reordering to square 2-D
+    grids. *)
+
+type detection = {
+  d_arr : string;
+  d_stride_bytes : int;
+  d_outer_loop : string option;  (** outermost loop sweeping the access *)
+}
+
+val detect :
+  Gpcc_sim.Config.t -> Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch ->
+  detection list
+
+val apply :
+  ?cfg:Gpcc_sim.Config.t ->
+  Gpcc_ast.Ast.kernel ->
+  Gpcc_ast.Ast.launch ->
+  Pass_util.outcome

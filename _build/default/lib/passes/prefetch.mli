@@ -1,0 +1,11 @@
+(** Data prefetching (paper Section 3.6, Figure 8): double-buffer each
+    loop's global-to-shared load through a register, fetching the next
+    iteration's value right after the barrier. Skipped when the extra
+    registers would reduce SM occupancy (the paper's "registers are used
+    up" rule). *)
+
+val apply :
+  ?cfg:Gpcc_sim.Config.t ->
+  Gpcc_ast.Ast.kernel ->
+  Gpcc_ast.Ast.launch ->
+  Pass_util.outcome

@@ -1,0 +1,121 @@
+(** AMD-style aggressive vectorization (paper Section 3.1): "for AMD/ATI
+    GPUs, due to the much more profound impact on bandwidth, the compiler
+    is more aggressive and also groups data accesses from neighboring
+    threads along the X direction into float2/float4 data types."
+
+    Each thread absorbs the work of [w] neighboring work items: an
+    element-wise kernel over 1-D arrays ([c[idx] = f(a[idx], b[idx], ...)])
+    becomes one over float2/float4 values — every load [a[idx]] turns into
+    a vector load, every store into a vector store, the float temporaries
+    become vector-typed, scalar literals broadcast, and the grid shrinks
+    by [w]. Applicability is deliberately strict (straight-line
+    element-wise bodies with +,-,*,/ arithmetic); anything else is left
+    for the NVIDIA-style pair vectorization. *)
+
+open Gpcc_ast
+open Ast
+
+let vec_scalar = function 2 -> Float2 | _ -> Float4
+
+(** Is the body a straight-line element-wise computation over 1-D global
+    arrays indexed exactly by [idx]? *)
+let applicable (k : Ast.kernel) : bool =
+  let globals = Pass_util.global_arrays k in
+  let rec expr_ok = function
+    | Float_lit _ -> true
+    | Int_lit _ -> true
+    | Var _ -> true
+    | Index (a, [ Builtin Idx ]) -> List.mem a globals
+    | Index _ -> false
+    | Binop ((Add | Sub | Mul | Div), a, b) -> expr_ok a && expr_ok b
+    | Unop (Neg, a) -> expr_ok a
+    | _ -> false
+  in
+  let arrays_1d =
+    List.for_all
+      (fun (p : Ast.param) ->
+        match p.p_ty with
+        | Array { dims = [ _ ]; _ } | Scalar _ -> true
+        | Array _ -> false)
+      k.k_params
+  in
+  arrays_1d
+  && k.k_body <> []
+  && List.for_all
+       (fun s ->
+         match s with
+         | Decl { d_ty = Scalar Float; d_init = Some e; _ } -> expr_ok e
+         | Assign (Lvar _, e) -> expr_ok e
+         | Assign (Lindex (a, [ Builtin Idx ]), e) ->
+             List.mem a globals && expr_ok e
+         | Comment _ -> true
+         | _ -> false)
+       k.k_body
+
+(** Rewrite one expression into its [w]-wide form. *)
+let rec widen (w : int) (float_vars : string list) (e : Ast.expr) : Ast.expr =
+  match e with
+  | Float_lit f ->
+      let comps = List.init w (fun _ -> Ast.Float_lit f) in
+      Call ((if w = 2 then "make_float2" else "make_float4"), comps)
+  | Int_lit n ->
+      let comps = List.init w (fun _ -> Ast.Float_lit (float_of_int n)) in
+      Call ((if w = 2 then "make_float2" else "make_float4"), comps)
+  | Var v when List.mem v float_vars -> Var v
+  | Var v -> Var v
+  | Index (a, [ Builtin Idx ]) ->
+      Vload { v_arr = a; v_width = w; v_index = Ast.idx }
+  | Binop (op, a, b) -> Binop (op, widen w float_vars a, widen w float_vars b)
+  | Unop (Neg, a) -> Unop (Neg, widen w float_vars a)
+  | e -> e
+
+let apply ?(width = 2) (k : Ast.kernel) (launch : Ast.launch) :
+    Pass_util.outcome =
+  if width <> 2 && width <> 4 then
+    Pass_util.unchanged ~notes:[ "vector width must be 2 or 4" ] k launch
+  else if not (applicable k) then
+    Pass_util.unchanged
+      ~notes:[ "kernel is not a straight-line element-wise 1-D computation" ]
+      k launch
+  else if launch.grid_x mod width <> 0 then
+    Pass_util.unchanged
+      ~notes:[ "grid not divisible by the vector width" ]
+      k launch
+  else begin
+    let float_vars =
+      List.filter_map
+        (function
+          | Decl { d_name; d_ty = Scalar Float; _ } -> Some d_name
+          | _ -> None)
+        k.k_body
+    in
+    let body =
+      List.map
+        (fun s ->
+          match s with
+          | Decl ({ d_ty = Scalar Float; d_init; _ } as d) ->
+              Decl
+                {
+                  d with
+                  d_ty = Scalar (vec_scalar width);
+                  d_init = Option.map (widen width float_vars) d_init;
+                }
+          | Assign (Lvar v, e) -> Assign (Lvar v, widen width float_vars e)
+          | Assign (Lindex (a, [ Builtin Idx ]), e) ->
+              Assign
+                ( Lvec { v_arr = a; v_width = width; v_index = Ast.idx },
+                  widen width float_vars e )
+          | s -> s)
+        k.k_body
+    in
+    Pass_util.changed
+      ~notes:
+        [
+          Printf.sprintf
+            "grouped %d neighboring work items per thread into float%d \
+             accesses (AMD rule)"
+            width width;
+        ]
+      { k with k_body = body }
+      { launch with grid_x = launch.grid_x / width }
+  end

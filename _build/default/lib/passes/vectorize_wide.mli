@@ -1,0 +1,13 @@
+(** AMD-style aggressive vectorization (paper Section 3.1): group [width]
+    neighboring work items of an element-wise 1-D kernel into one thread
+    using float2/float4 loads and stores; the grid shrinks by [width].
+    Strictly applicable (straight-line element-wise bodies); everything
+    else is left to the NVIDIA-style pair vectorization. *)
+
+val applicable : Gpcc_ast.Ast.kernel -> bool
+
+val apply :
+  ?width:int ->
+  Gpcc_ast.Ast.kernel ->
+  Gpcc_ast.Ast.launch ->
+  Pass_util.outcome

@@ -1,0 +1,1 @@
+lib/sim/coalescer.pp.ml: Config Hashtbl List

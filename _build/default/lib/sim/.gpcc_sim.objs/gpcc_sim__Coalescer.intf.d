@@ -1,0 +1,1 @@
+lib/sim/coalescer.pp.mli: Config

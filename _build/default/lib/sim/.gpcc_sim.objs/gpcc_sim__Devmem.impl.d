@@ -1,0 +1,1 @@
+lib/sim/devmem.pp.ml: Array Gpcc_analysis Gpcc_ast Hashtbl Layout List Printf

@@ -1,0 +1,1 @@
+lib/sim/devmem.pp.mli: Gpcc_analysis Gpcc_ast

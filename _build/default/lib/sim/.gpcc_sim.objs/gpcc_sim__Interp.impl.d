@@ -1,0 +1,1 @@
+lib/sim/interp.pp.ml: Array Ast Coalescer Config Devmem Float Gpcc_analysis Gpcc_ast Hashtbl Layout List Printf Stats

@@ -1,0 +1,1 @@
+lib/sim/launch.pp.ml: Array Ast Config Devmem Gpcc_analysis Gpcc_ast Interp List Occupancy Printf Rewrite Stats Timing

@@ -1,0 +1,1 @@
+lib/sim/launch.pp.mli: Config Devmem Gpcc_ast Stats Timing

@@ -1,0 +1,1 @@
+lib/sim/occupancy.pp.ml: Config Ppx_deriving_runtime

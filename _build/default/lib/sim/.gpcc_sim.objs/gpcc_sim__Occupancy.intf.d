@@ -1,0 +1,1 @@
+lib/sim/occupancy.pp.mli: Config Format

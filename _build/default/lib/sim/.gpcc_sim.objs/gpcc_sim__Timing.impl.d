@@ -1,0 +1,1 @@
+lib/sim/timing.pp.ml: Config Float Gpcc_ast Occupancy Ppx_deriving_runtime Stats

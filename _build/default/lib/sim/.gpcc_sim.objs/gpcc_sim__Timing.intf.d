@@ -1,0 +1,1 @@
+lib/sim/timing.pp.mli: Config Format Gpcc_ast Occupancy Stats

@@ -1,0 +1,93 @@
+(** Memory-transaction formation.
+
+    Global accesses are issued per half warp (16 threads). Under the G80
+    strict rule a request coalesces into a single 64-byte (or 128-byte for
+    8-byte elements) transaction only when thread [k] accesses word [k] of
+    an aligned segment; otherwise every active lane pays a separate
+    minimum-size transaction. Under the GT200 relaxed rule the hardware
+    issues one transaction per distinct aligned segment touched.
+
+    Shared-memory requests are checked against the 16 banks: the cost of a
+    request is the maximum number of distinct addresses mapping to one bank
+    (same-address lanes broadcast for free). *)
+
+type tx = {
+  tx_addr : int;  (** byte address of the transaction start *)
+  tx_bytes : int;
+}
+
+(** Transactions for one half-warp global request.
+    [addrs] are byte addresses of the *active* lanes (lane, addr) with
+    lane in 0..15; [elt_bytes] is the access width per lane. *)
+let global_request (rules : Config.coalesce_rules) ~(min_tx : int)
+    ~(elt_bytes : int) (addrs : (int * int) list) : tx list =
+  if addrs = [] then []
+  else
+    let seg_bytes = 16 * elt_bytes in
+    match rules with
+    | Config.Strict_g80 ->
+        (* need every active lane k at base + k*elt, base aligned; the
+           hardware checks the full half-warp pattern, so any deviation
+           serializes all lanes *)
+        let base = snd (List.hd addrs) - (fst (List.hd addrs) * elt_bytes) in
+        let ok =
+          base mod seg_bytes = 0
+          && List.for_all
+               (fun (lane, a) -> a = base + (lane * elt_bytes))
+               addrs
+        in
+        if ok then [ { tx_addr = base; tx_bytes = seg_bytes } ]
+        else
+          List.map
+            (fun (_, a) ->
+              { tx_addr = a / min_tx * min_tx; tx_bytes = min_tx })
+            addrs
+    | Config.Relaxed_gt200 ->
+        (* one transaction per distinct aligned segment; segment size is
+           the smallest of 32/64/128 bytes covering the lanes in it *)
+        let seg = max 32 seg_bytes in
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (_, a) ->
+            let s = a / seg * seg in
+            let lo, hi =
+              match Hashtbl.find_opt tbl s with
+              | Some (lo, hi) -> (min lo a, max hi (a + elt_bytes))
+              | None -> (a, a + elt_bytes)
+            in
+            Hashtbl.replace tbl s (lo, hi))
+          addrs;
+        Hashtbl.fold
+          (fun _s (lo, hi) acc ->
+            (* shrink to the smallest aligned power-of-two region >= 32B *)
+            let hi' = hi - 1 in
+            let rec shrink size =
+              let half = size / 2 in
+              if half >= 32 && lo / half = hi' / half then shrink half
+              else size
+            in
+            let size = shrink seg in
+            { tx_addr = lo / size * size; tx_bytes = size } :: acc)
+          tbl []
+
+(** Cost in serialized cycles of one half-warp shared-memory request.
+    [word_addrs] are the 4-byte word indices accessed by active lanes. *)
+let shared_request ~(banks : int) (word_addrs : int list) : int =
+  if word_addrs = [] then 0
+  else begin
+    let per_bank = Hashtbl.create banks in
+    List.iter
+      (fun w ->
+        let b = ((w mod banks) + banks) mod banks in
+        let set =
+          match Hashtbl.find_opt per_bank b with
+          | Some s -> s
+          | None ->
+              let s = ref [] in
+              Hashtbl.replace per_bank b s;
+              s
+        in
+        if not (List.mem w !set) then set := w :: !set)
+      word_addrs;
+    Hashtbl.fold (fun _ s acc -> max acc (List.length !s)) per_bank 1
+  end

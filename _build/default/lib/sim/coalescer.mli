@@ -1,0 +1,24 @@
+(** Memory-transaction formation for half-warp requests. *)
+
+type tx = {
+  tx_addr : int;  (** byte address of the transaction start *)
+  tx_bytes : int;
+}
+
+(** Transactions for one half-warp global request. [addrs] are the byte
+    addresses of the active lanes as [(lane, addr)] with lane in 0..15;
+    [elt_bytes] is the per-lane access width. The strict G80 rule needs
+    thread [k] at word [k] of an aligned segment (else every active lane
+    pays a [min_tx]-byte transaction); the relaxed GT200 rule issues one
+    transaction per distinct aligned segment, shrunk to the smallest
+    covering power of two >= 32 B. *)
+val global_request :
+  Config.coalesce_rules ->
+  min_tx:int ->
+  elt_bytes:int ->
+  (int * int) list ->
+  tx list
+
+(** Serialized cost (in conflict-free request units) of one half-warp
+    shared-memory request; same-address lanes broadcast for free. *)
+val shared_request : banks:int -> int list -> int

@@ -1,0 +1,99 @@
+(** Simulated device (off-chip) memory.
+
+    Arrays live in one virtual address space so that partition behaviour is
+    realistic: each array gets a base address aligned to the partition
+    width, and element addresses follow the padded layout that the compiler
+    and the analysis agree on ({!Gpcc_analysis.Layout}). All global arrays
+    hold 32-bit floats (vector types are views of consecutive floats, as in
+    CUDA). *)
+
+open Gpcc_analysis
+
+type arr = {
+  lay : Layout.t;
+  base : int;  (** byte address of element 0 *)
+  data : float array;  (** padded storage, row-major over pitches *)
+}
+
+type t = {
+  mutable next_base : int;
+  arrays : (string, arr) Hashtbl.t;
+}
+
+let create () = { next_base = 0; arrays = Hashtbl.create 16 }
+
+let align_up n a = (n + a - 1) / a * a
+
+let alloc (t : t) (lay : Layout.t) : arr =
+  let base = align_up t.next_base 256 in
+  let a = { lay; base; data = Array.make (max 1 (Layout.size_elems lay)) 0.0 } in
+  t.next_base <- base + Layout.size_bytes lay;
+  Hashtbl.replace t.arrays lay.Layout.name a;
+  a
+
+(** Allocate every global array parameter of a kernel (padded layouts). *)
+let of_kernel (k : Gpcc_ast.Ast.kernel) : t =
+  let t = create () in
+  let layouts = Layout.of_kernel k in
+  List.iter
+    (fun (p : Gpcc_ast.Ast.param) ->
+      match p.p_ty with
+      | Array { space = Global; _ } ->
+          ignore (alloc t (List.assoc p.p_name layouts))
+      | _ -> ())
+    k.k_params;
+  t
+
+let find (t : t) name = Hashtbl.find_opt t.arrays name
+
+let find_exn (t : t) name =
+  match find t name with
+  | Some a -> a
+  | None -> invalid_arg ("Devmem.find_exn: no array " ^ name)
+
+(** Padded flat offset of a logical multi-index. *)
+let offset (a : arr) (indices : int list) : int =
+  List.fold_left2
+    (fun acc i stride -> acc + (i * stride))
+    0 indices
+    (Layout.strides a.lay)
+
+(** Iterate logical indices of a layout in row-major order. *)
+let iter_logical (lay : Layout.t) (f : int list -> unit) : unit =
+  let rec go prefix = function
+    | [] -> f (List.rev prefix)
+    | d :: rest ->
+        for i = 0 to d - 1 do
+          go (i :: prefix) rest
+        done
+  in
+  go [] lay.Layout.dims
+
+(** Write a logical row-major float array into the padded storage. *)
+let write (t : t) name (values : float array) : unit =
+  let a = find_exn t name in
+  let logical_size = List.fold_left ( * ) 1 a.lay.Layout.dims in
+  if Array.length values <> logical_size then
+    invalid_arg
+      (Printf.sprintf "Devmem.write %s: expected %d values, got %d" name
+         logical_size (Array.length values));
+  let i = ref 0 in
+  iter_logical a.lay (fun idx ->
+      a.data.(offset a idx) <- values.(!i);
+      incr i)
+
+(** Read the logical row-major contents out of the padded storage. *)
+let read (t : t) name : float array =
+  let a = find_exn t name in
+  let logical_size = List.fold_left ( * ) 1 a.lay.Layout.dims in
+  let out = Array.make logical_size 0.0 in
+  let i = ref 0 in
+  iter_logical a.lay (fun idx ->
+      out.(!i) <- a.data.(offset a idx);
+      incr i);
+  out
+
+let fill (t : t) name (f : int -> float) : unit =
+  let a = find_exn t name in
+  let logical_size = List.fold_left ( * ) 1 a.lay.Layout.dims in
+  write t name (Array.init logical_size f)

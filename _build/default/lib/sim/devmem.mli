@@ -1,0 +1,30 @@
+(** Simulated device (off-chip) memory: one virtual address space with
+    partition-width-aligned array bases and padded row pitches, shared
+    with the static analysis through {!Gpcc_analysis.Layout}. *)
+
+type arr = {
+  lay : Gpcc_analysis.Layout.t;
+  base : int;  (** byte address of element 0, 256-byte aligned *)
+  data : float array;  (** padded storage, row-major over pitches *)
+}
+
+type t
+
+val create : unit -> t
+val alloc : t -> Gpcc_analysis.Layout.t -> arr
+
+(** Allocate every global array parameter of a kernel. *)
+val of_kernel : Gpcc_ast.Ast.kernel -> t
+
+val find : t -> string -> arr option
+val find_exn : t -> string -> arr
+
+(** Padded flat offset of a logical multi-index. *)
+val offset : arr -> int list -> int
+
+(** Write / read logical row-major contents (padding handled). *)
+val write : t -> string -> float array -> unit
+val read : t -> string -> float array
+
+(** Fill from a function of the logical flat index. *)
+val fill : t -> string -> (int -> float) -> unit

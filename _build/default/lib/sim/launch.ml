@@ -1,0 +1,227 @@
+(** Grid-level kernel execution.
+
+    Two modes:
+    - [Full] interprets every thread block — used by correctness tests,
+      which compare device output arrays against CPU references, and by
+      kernels containing [__global_sync] (the grid barrier splits the body
+      into phases; every block finishes phase [p] before any block starts
+      phase [p+1], with per-block thread state kept alive across phases);
+    - [Sampled n] interprets [n] representative blocks of the first
+      resident wave and scales their (identical-by-construction) per-block
+      statistics to the whole grid. The sampled blocks have consecutive
+      linear ids, which is exactly the set whose simultaneous memory
+      traffic determines partition camping; their aligned transaction
+      streams give the partition-efficiency estimate. *)
+
+open Gpcc_ast
+
+type mode =
+  | Full
+  | Sampled of int
+
+type result = {
+  per_block : Stats.t;  (** average statistics of one thread block *)
+  total : Stats.t;  (** scaled to the whole grid *)
+  timing : Timing.result;
+  sampled_blocks : int;
+  partition_eff : float;
+}
+
+(** Split the kernel body at top-level [__global_sync] barriers. *)
+let phases_of_body (body : Ast.block) : Ast.block list =
+  let rec go cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | Ast.Global_sync :: rest -> go [] (List.rev cur :: acc) rest
+    | s :: rest -> go (s :: cur) acc rest
+  in
+  go [] [] body
+
+(** Static memory-level-parallelism estimate: the largest number of global
+    load sites inside one innermost loop body (independent loads from one
+    warp overlap their latencies). *)
+let mlp_estimate (k : Ast.kernel) : float =
+  let globals =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match p.p_ty with
+        | Array { space = Global; _ } -> Some p.p_name
+        | _ -> None)
+      k.k_params
+  in
+  let count_sites (b : Ast.block) =
+    Rewrite.collect_accesses b
+    |> List.filter (fun (a, _, st) -> (not st) && List.mem a globals)
+    |> List.length
+  in
+  (* a staging loop's iterations are independent loads: the warp keeps
+     several in flight; a compute loop stalls at each load's use *)
+  let is_staging_body (b : Ast.block) =
+    b <> []
+    && List.for_all
+         (function Ast.Assign (Lindex _, _) -> true | _ -> false)
+         b
+  in
+  let rec innermost_counts (b : Ast.block) : int list =
+    List.concat_map
+      (function
+        | Ast.For l ->
+            let inner = innermost_counts l.l_body in
+            if inner <> [] then inner
+            else if is_staging_body l.l_body && count_sites l.l_body > 0 then
+              [ 8 ]
+            else [ count_sites l.l_body ]
+        | Ast.If (_, t, f) -> innermost_counts t @ innermost_counts f
+        | _ -> [])
+      b
+  in
+  let counts = innermost_counts k.k_body in
+  (* straight-line kernels: every load in the body is independent *)
+  let counts = if counts = [] then [ count_sites k.k_body ] else counts in
+  let m = List.fold_left max 1 counts in
+  float_of_int (min m 8)
+
+(** Queue window: how many in-flight transactions per block the memory
+    system can reorder across partitions. Sequential streams that cycle
+    through partitions within this window reach full bandwidth; true
+    camping (whole windows on one partition) does not. *)
+let queue_window = 8
+
+(** Partition efficiency from the aligned transaction streams of the
+    sampled blocks: at each instant, count how many distinct partitions
+    the concurrently executing blocks' next [queue_window] transactions
+    cover. *)
+let partition_efficiency (cfg : Config.t) (streams : int array list) : float =
+  let streams = List.filter (fun s -> Array.length s > 0) streams in
+  let s = List.length streams in
+  if s <= 1 then 1.0
+  else begin
+    let len = List.fold_left (fun m a -> min m (Array.length a)) max_int streams in
+    let denom = min cfg.num_partitions (s * queue_window) in
+    (* keep windows fully inside the streams so tails do not skew *)
+    let t_max = max 1 (len - queue_window + 1) in
+    let step = max 1 (t_max / 512) in
+    let slices = ref 0 and acc = ref 0.0 in
+    let t = ref 0 in
+    while !t < t_max do
+      let seen = Array.make cfg.num_partitions false in
+      List.iter
+        (fun st ->
+          for u = !t to min (len - 1) (!t + queue_window - 1) do
+            seen.(st.(u)) <- true
+          done)
+        streams;
+      let distinct = Array.fold_left (fun n b -> if b then n + 1 else n) 0 seen in
+      acc := !acc +. (float_of_int distinct /. float_of_int denom);
+      incr slices;
+      t := !t + step
+    done;
+    if !slices = 0 then 1.0 else !acc /. float_of_int !slices
+  end
+
+let block_coords (launch : Ast.launch) (linear : int) =
+  (linear mod launch.grid_x, linear / launch.grid_x)
+
+(** Run a kernel. The caller is responsible for having bound every [int]
+    parameter via [k_sizes] and allocated the arrays in [mem].
+    [streams] bounds how many resident-wave blocks feed the
+    partition-efficiency estimate. *)
+let run ?(mode = Full) ?(streams = 12) (cfg : Config.t) (k : Ast.kernel)
+    (launch : Ast.launch) (mem : Devmem.t) : result =
+  let phases = phases_of_body k.k_body in
+  let nblocks = Ast.total_blocks launch in
+  let regs = Gpcc_analysis.Regcount.estimate k in
+  let shared = Gpcc_analysis.Regcount.shared_bytes k in
+  let occ0 =
+    Occupancy.calc cfg ~regs_per_thread:regs ~shared_per_block:shared
+      ~threads_per_block:(Ast.threads_per_block launch)
+  in
+  (* partition camping happens among the concurrently resident wave of
+     blocks; sample that wave evenly (consecutive blocks alone miss
+     schedules like the diagonal reorder, which spreads partitions across
+     the wave, not between neighbors) *)
+  let wave = min nblocks (cfg.num_sms * occ0.blocks_per_sm) in
+  let stream_ids =
+    let s = max 2 (min streams wave) in
+    List.init s (fun i -> i * wave / s) |> List.sort_uniq compare
+  in
+  let mode = if List.length phases > 1 then Full else mode in
+  let per_block, streams, sampled =
+    match mode with
+    | Full ->
+        let stats = Stats.create () in
+        let streams = ref [] in
+        (* create contexts upfront so thread state persists across
+           global-sync phases *)
+        let ctxs =
+          Array.init nblocks (fun i ->
+              let bx, by = block_coords launch i in
+              Interp.make_bctx ~record_tx:(List.mem i stream_ids) cfg stats k
+                launch mem ~bidx:bx ~bidy:by)
+        in
+        List.iter
+          (fun phase -> Array.iter (fun c -> Interp.run_block c phase) ctxs)
+          phases;
+        Array.iteri
+          (fun i c ->
+            if List.mem i stream_ids then
+              streams :=
+                Array.of_list (List.rev c.Interp.txparts) :: !streams)
+          ctxs;
+        (Stats.scale (1.0 /. float_of_int nblocks) stats, List.rev !streams, nblocks)
+    | Sampled n ->
+        (* two sample sets: statistics come from blocks spread evenly over
+           the whole grid (work can vary with the block id, e.g.
+           triangular kernels); partition streams come from consecutive
+           first-wave blocks, the set whose simultaneous traffic causes
+           camping *)
+        let s = max 1 (min n nblocks) in
+        let spread =
+          List.init s (fun i -> i * nblocks / s) |> List.sort_uniq compare
+        in
+        let consec = stream_ids in
+        let stats = Stats.create () in
+        let stat_runs = ref 0 in
+        let streams = ref [] in
+        let run_one ~record ~count i =
+          let bx, by = block_coords launch i in
+          let local = Stats.create () in
+          let c =
+            Interp.make_bctx ~record_tx:record cfg local k launch mem
+              ~bidx:bx ~bidy:by
+          in
+          (match List.iter (Interp.run_block c) phases with
+          | () -> ()
+          | exception Interp.Runtime_error m ->
+              raise
+                (Interp.Runtime_error
+                   (Printf.sprintf "%s (block %d,%d)" m bx by)));
+          if count then begin
+            Stats.add stats local;
+            incr stat_runs
+          end;
+          if record then
+            streams := Array.of_list (List.rev c.Interp.txparts) :: !streams
+        in
+        List.iter
+          (fun i -> run_one ~record:true ~count:(List.mem i spread) i)
+          consec;
+        List.iter
+          (fun i -> if not (List.mem i consec) then run_one ~record:false ~count:true i)
+          spread;
+        let denom = float_of_int (max 1 !stat_runs) in
+        (Stats.scale (1.0 /. denom) stats, List.rev !streams, !stat_runs)
+  in
+  per_block.Stats.loads_in_flight <- mlp_estimate k;
+  let partition_eff = partition_efficiency cfg streams in
+  let timing =
+    Timing.estimate cfg ~per_block ~launch ~regs_per_thread:regs
+      ~shared_per_block:shared ~partition_eff
+      ~mlp:per_block.Stats.loads_in_flight
+  in
+  {
+    per_block;
+    total = Stats.scale (float_of_int nblocks) per_block;
+    timing;
+    sampled_blocks = sampled;
+    partition_eff;
+  }

@@ -1,0 +1,44 @@
+(** Grid-level kernel execution on the simulator.
+
+    [Full] interprets every thread block (correctness runs; also forced
+    for kernels with [__global_sync], whose phases execute grid-wide in
+    order with per-block thread state kept alive). [Sampled n] interprets
+    representative blocks only and scales their statistics: [n] blocks
+    spread over the grid for per-block averages, plus blocks spread over
+    one resident wave whose aligned transaction streams estimate the
+    partition efficiency. *)
+
+type mode =
+  | Full
+  | Sampled of int
+
+type result = {
+  per_block : Stats.t;  (** average statistics of one thread block *)
+  total : Stats.t;  (** scaled to the whole grid *)
+  timing : Timing.result;
+  sampled_blocks : int;  (** blocks whose statistics were averaged *)
+  partition_eff : float;  (** 1.0 = traffic spread over all partitions *)
+}
+
+(** Split a kernel body at top-level [__global_sync] barriers. *)
+val phases_of_body : Gpcc_ast.Ast.block -> Gpcc_ast.Ast.block list
+
+(** Static memory-level-parallelism estimate (independent loads one warp
+    keeps in flight), used by the timing model's latency term. *)
+val mlp_estimate : Gpcc_ast.Ast.kernel -> float
+
+(** Partition efficiency of a set of aligned per-block transaction
+    streams: mean over time of (distinct partitions hit) / (ideal). *)
+val partition_efficiency : Config.t -> int array list -> float
+
+(** Run a kernel. Every [int] parameter must be bound via [k_sizes] and
+    every global array allocated in the memory. [streams] bounds how many
+    resident-wave blocks feed the partition estimate. *)
+val run :
+  ?mode:mode ->
+  ?streams:int ->
+  Config.t ->
+  Gpcc_ast.Ast.kernel ->
+  Gpcc_ast.Ast.launch ->
+  Devmem.t ->
+  result

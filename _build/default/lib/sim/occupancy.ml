@@ -1,0 +1,50 @@
+(** SM occupancy: how many thread blocks fit on one streaming
+    multiprocessor given their register, shared-memory and thread-count
+    footprints (paper Section 2c, "balanced resource usage"). *)
+
+type t = {
+  blocks_per_sm : int;
+  active_threads : int;
+  active_warps : int;
+  limited_by : string;
+  reg_spill : bool;
+      (** even a single block exceeds the register file: the compiler
+          would spill to off-chip local memory *)
+}
+[@@deriving show { with_path = false }]
+
+let calc (cfg : Config.t) ~(regs_per_thread : int) ~(shared_per_block : int)
+    ~(threads_per_block : int) : t =
+  let tpb = max 1 threads_per_block in
+  let limit_threads = cfg.max_threads_per_sm / tpb in
+  let limit_blocks = cfg.max_blocks_per_sm in
+  let limit_shared =
+    if shared_per_block <= 0 then cfg.max_blocks_per_sm
+    else cfg.shared_bytes_per_sm / shared_per_block
+  in
+  let regs_per_block = regs_per_thread * tpb in
+  let limit_regs =
+    if regs_per_block <= 0 then cfg.max_blocks_per_sm
+    else cfg.registers_per_sm / regs_per_block
+  in
+  let reg_spill = limit_regs = 0 in
+  let blocks =
+    max (if reg_spill then 1 else 0)
+      (min (min limit_threads limit_blocks) (min limit_shared limit_regs))
+  in
+  let blocks = max blocks (if limit_threads > 0 && limit_shared > 0 then 0 else 0) in
+  let blocks = if blocks = 0 then 1 else blocks in
+  let limited_by =
+    if reg_spill then "register-spill"
+    else if blocks = limit_regs then "registers"
+    else if blocks = limit_shared then "shared-memory"
+    else if blocks = limit_threads then "threads"
+    else "max-blocks"
+  in
+  {
+    blocks_per_sm = blocks;
+    active_threads = blocks * tpb;
+    active_warps = blocks * ((tpb + cfg.warp_size - 1) / cfg.warp_size);
+    limited_by;
+    reg_spill;
+  }

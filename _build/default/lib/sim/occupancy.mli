@@ -1,0 +1,23 @@
+(** SM occupancy: thread blocks resident per streaming multiprocessor
+    given register, shared-memory and thread-count footprints (paper
+    Section 2c). *)
+
+type t = {
+  blocks_per_sm : int;
+  active_threads : int;
+  active_warps : int;
+  limited_by : string;  (** "registers" / "shared-memory" / "threads" / "max-blocks" / "register-spill" *)
+  reg_spill : bool;
+      (** even one block exceeds the register file; the compiler would
+          spill to off-chip local memory *)
+}
+
+val show : t -> string
+val pp : Format.formatter -> t -> unit
+
+val calc :
+  Config.t ->
+  regs_per_thread:int ->
+  shared_per_block:int ->
+  threads_per_block:int ->
+  t

@@ -1,0 +1,117 @@
+(** Analytic timing model.
+
+    The interpreter measures *events* (instructions, transactions, bytes,
+    conflicts); this module converts them into time using the machine
+    description, in the spirit of the GPU analytical models the paper cites
+    (Hong & Kim; Baghsorkhi et al.). Execution proceeds in waves of
+    resident blocks; a wave's cycle count is the maximum of three
+    pressures:
+
+    - compute: each SM issues one warp instruction per [warp/sps] cycles
+      across its resident blocks, plus bank-conflict serialization;
+    - bandwidth: the wave's off-chip bytes at peak bandwidth derated by the
+      partition efficiency (camping), with a per-SM cap — a single SM's
+      load/store path cannot saturate the whole memory system, so
+      few-block grids cannot use full bandwidth;
+    - latency: each half-warp memory request keeps a warp waiting
+      [mem_latency] cycles; concurrency is the SM's active warps times the
+      memory-level parallelism per warp.
+
+    Register spill (a block that does not fit the register file even
+    alone) applies a flat slowdown. *)
+
+type result = {
+  occupancy : Occupancy.t;
+  waves : int;
+  cycles : float;
+  time_ms : float;
+  gflops : float;
+  bandwidth_gbs : float;  (** useful off-chip traffic per second *)
+  bound : string;
+  partition_eff : float;
+}
+[@@deriving show { with_path = false }]
+
+(** Fraction of peak bandwidth one SM's memory path can consume. *)
+let sm_bandwidth_share = 0.2
+
+let estimate (cfg : Config.t) ~(per_block : Stats.t)
+    ~(launch : Gpcc_ast.Ast.launch) ~(regs_per_thread : int)
+    ~(shared_per_block : int) ~(partition_eff : float) ~(mlp : float) : result
+    =
+  let tpb = Gpcc_ast.Ast.threads_per_block launch in
+  let occ =
+    Occupancy.calc cfg ~regs_per_thread ~shared_per_block
+      ~threads_per_block:tpb
+  in
+  let resident = occ.blocks_per_sm in
+  let total_blocks = Gpcc_ast.Ast.total_blocks launch in
+  let wave_capacity = cfg.num_sms * resident in
+  let waves = (total_blocks + wave_capacity - 1) / wave_capacity in
+  let cycles_per_warp_inst =
+    float_of_int cfg.warp_size /. float_of_int cfg.sps_per_sm
+  in
+  let eff = Float.max 0.05 (Float.min 1.0 partition_eff) in
+  let bw_bytes_per_cycle =
+    cfg.mem_bandwidth_gbs /. cfg.core_clock_ghz
+  in
+  let bytes_block = Stats.global_bytes per_block in
+  (* what the memory system charges: width-derated bytes (equal to raw
+     bytes when all accesses are 4-byte) *)
+  let charge_block =
+    if per_block.Stats.cost_bytes > 0.0 then per_block.Stats.cost_bytes
+    else bytes_block
+  in
+  let requests_block = per_block.gld_requests +. per_block.gst_requests in
+  (* average cycles of one wave; the last (possibly partial) wave is
+     modeled at the same density, adequate for many-block grids and
+     conservative for tiny ones *)
+  let blocks_in_wave = min total_blocks wave_capacity in
+  (* blocks on one (busy) SM within the wave *)
+  let resident_f =
+    Float.max 1.0
+      (float_of_int blocks_in_wave /. float_of_int cfg.num_sms)
+  in
+  (* per-SM compute pressure *)
+  let compute =
+    (per_block.warp_insts +. per_block.bank_extra)
+    *. cycles_per_warp_inst *. resident_f
+  in
+  (* wave-level bandwidth pressure, with the per-SM cap *)
+  let mem_grid =
+    charge_block *. float_of_int blocks_in_wave /. (bw_bytes_per_cycle *. eff)
+  in
+  let mem_sm_cap =
+    charge_block *. resident_f
+    /. (bw_bytes_per_cycle *. sm_bandwidth_share *. eff)
+  in
+  let mem = Float.max mem_grid mem_sm_cap in
+  (* per-SM latency pressure *)
+  let concurrency =
+    Float.max 1.0 (float_of_int occ.active_warps *. mlp)
+  in
+  let latency =
+    requests_block *. resident_f
+    *. float_of_int cfg.mem_latency_cycles /. concurrency
+  in
+  let wave_cycles = Float.max compute (Float.max mem latency) in
+  let wave_cycles = if occ.reg_spill then wave_cycles *. 2.5 else wave_cycles in
+  let cycles = float_of_int waves *. wave_cycles in
+  let time_s = cycles /. (cfg.core_clock_ghz *. 1e9) in
+  let tb = float_of_int total_blocks in
+  let bound =
+    if occ.reg_spill then "register-spill"
+    else if compute >= mem && compute >= latency then "compute"
+    else if mem >= latency then "memory"
+    else "latency"
+  in
+  {
+    occupancy = occ;
+    waves;
+    cycles;
+    time_ms = time_s *. 1e3;
+    gflops = per_block.flops *. tb /. time_s /. 1e9;
+    bandwidth_gbs = bytes_block *. tb /. time_s /. 1e9;
+    bound;
+    partition_eff = eff;
+  }

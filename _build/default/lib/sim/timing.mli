@@ -1,0 +1,31 @@
+(** Analytic timing model: converts measured events into cycles per
+    resident wave as the max of compute, bandwidth (derated by partition
+    efficiency and a per-SM cap) and latency pressures; register spill
+    applies a flat slowdown. *)
+
+type result = {
+  occupancy : Occupancy.t;
+  waves : int;
+  cycles : float;
+  time_ms : float;
+  gflops : float;
+  bandwidth_gbs : float;  (** useful off-chip traffic per second *)
+  bound : string;  (** "compute" / "memory" / "latency" / "register-spill" *)
+  partition_eff : float;
+}
+
+val show_result : result -> string
+val pp_result : Format.formatter -> result -> unit
+
+(** Fraction of peak bandwidth one SM's memory path can consume. *)
+val sm_bandwidth_share : float
+
+val estimate :
+  Config.t ->
+  per_block:Stats.t ->
+  launch:Gpcc_ast.Ast.launch ->
+  regs_per_thread:int ->
+  shared_per_block:int ->
+  partition_eff:float ->
+  mlp:float ->
+  result

@@ -1,0 +1,1 @@
+lib/workloads/cublas_sim.ml: Ast Gpcc_ast List Parser Printf String Typecheck

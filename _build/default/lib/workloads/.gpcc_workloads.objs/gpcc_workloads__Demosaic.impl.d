@@ -1,0 +1,1 @@
+lib/workloads/demosaic.ml: Array Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/imregionmax.ml: Array Float Printf Workload

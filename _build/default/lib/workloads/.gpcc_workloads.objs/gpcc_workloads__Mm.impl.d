@@ -1,0 +1,1 @@
+lib/workloads/mm.ml: Array Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/mv.ml: Array Printf Workload

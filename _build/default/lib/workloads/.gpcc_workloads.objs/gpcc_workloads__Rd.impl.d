@@ -1,0 +1,1 @@
+lib/workloads/rd.ml: Array Printf Workload

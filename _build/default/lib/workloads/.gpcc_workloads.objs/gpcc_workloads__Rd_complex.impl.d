@@ -1,0 +1,1 @@
+lib/workloads/rd_complex.ml: Array Float Printf Workload

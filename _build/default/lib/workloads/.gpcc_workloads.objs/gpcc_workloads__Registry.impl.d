@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Conv Demosaic Fft Imregionmax List Mm Mv Rd Rd_complex String Strsm Tmv Tp Vv Workload

@@ -1,0 +1,1 @@
+lib/workloads/sdk_transpose.ml: Ast Gpcc_ast Parser Printf Typecheck

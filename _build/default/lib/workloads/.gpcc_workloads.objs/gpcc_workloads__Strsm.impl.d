@@ -1,0 +1,1 @@
+lib/workloads/strsm.ml: Array Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/tmv.ml: Array Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/tp.ml: Array Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/vv.ml: Array Printf Workload

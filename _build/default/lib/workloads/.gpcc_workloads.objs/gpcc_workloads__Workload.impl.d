@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Ast Float Gpcc_ast Gpcc_sim List Parser Printf String Typecheck

@@ -1,0 +1,63 @@
+(** 2-D convolution (paper Table 1: "conv", 12 LOC, 4kx4k image with a
+    32x32 kernel). The input image carries a kernel-sized border so the
+    naive kernel needs no boundary guards (standard padded-convolution
+    layout); problem size [n] is the output image edge. *)
+
+let ksize = 32
+
+let source n =
+  let padded = n + ksize in
+  Printf.sprintf
+    {|#pragma gpcc dim kw %d
+#pragma gpcc output out
+__kernel void conv(float img[%d][%d], float ker[%d][%d], float out[%d][%d], int kw) {
+  float sum = 0;
+  for (int j = 0; j < kw; j++) {
+    for (int i = 0; i < kw; i++) {
+      sum += img[idy + j][idx + i] * ker[j][i];
+    }
+  }
+  out[idy][idx] = sum;
+}
+|}
+    ksize padded padded ksize ksize n n
+
+let inputs n =
+  let padded = n + ksize in
+  [
+    ("img", Workload.gen ~seed:13 (padded * padded));
+    ("ker", Workload.gen ~seed:14 (ksize * ksize));
+  ]
+
+let reference n input =
+  let padded = n + ksize in
+  let img = input "img" and ker = input "ker" in
+  let out = Array.make (n * n) 0.0 in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      let s = ref 0.0 in
+      for j = 0 to ksize - 1 do
+        for i = 0 to ksize - 1 do
+          s := !s +. (img.(((y + j) * padded) + x + i) *. ker.((j * ksize) + i))
+        done
+      done;
+      out.((y * n) + x) <- !s
+    done
+  done;
+  [ ("out", out) ]
+
+let workload : Workload.t =
+  {
+    name = "conv";
+    description = "2-D convolution (32x32 kernel)";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 2.0 *. float_of_int (n * n * ksize * ksize));
+    moved_bytes = (fun n -> 4.0 *. 2.0 *. float_of_int (n * n));
+    sizes = [ 256; 512; 1024 ];
+    test_size = 64;
+    bench_size = 256;
+    tolerance = 1e-3;
+    in_cublas = false;
+  }

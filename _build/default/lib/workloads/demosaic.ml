@@ -1,0 +1,84 @@
+(** Image reconstruction / demosaicing (paper Table 1: "demosaicing",
+    27 LOC, 1k-4k): bilinear interpolation of an RGGB Bayer mosaic into
+    three color planes. The mosaic carries a 1-pixel border so the naive
+    kernel reads its 3x3 neighborhood without guards. *)
+
+let source n =
+  let p = n + 2 in
+  Printf.sprintf
+    {|#pragma gpcc output r g b
+__kernel void demosaic(float byr[%d][%d], float r[%d][%d], float g[%d][%d], float b[%d][%d]) {
+  float c = byr[idy + 1][idx + 1];
+  float up = byr[idy][idx + 1];
+  float dn = byr[idy + 2][idx + 1];
+  float lf = byr[idy + 1][idx];
+  float rt = byr[idy + 1][idx + 2];
+  float ul = byr[idy][idx];
+  float ur = byr[idy][idx + 2];
+  float dl = byr[idy + 2][idx];
+  float dr = byr[idy + 2][idx + 2];
+  float cross = (up + dn + lf + rt) * 0.25;
+  float diag = (ul + ur + dl + dr) * 0.25;
+  float horiz = (lf + rt) * 0.5;
+  float vert = (up + dn) * 0.5;
+  int px = idx %% 2;
+  int py = idy %% 2;
+  r[idy][idx] = py == 0 ? (px == 0 ? c : horiz) : (px == 0 ? vert : diag);
+  g[idy][idx] = px == py ? cross : c;
+  b[idy][idx] = py == 0 ? (px == 0 ? diag : vert) : (px == 0 ? horiz : c);
+}
+|}
+    p p n n n n n n
+
+let inputs n =
+  let p = n + 2 in
+  [ ("byr", Workload.gen ~seed:15 (p * p)) ]
+
+let reference n input =
+  let p = n + 2 in
+  let byr = input "byr" in
+  let at y x = byr.((y * p) + x) in
+  let r = Array.make (n * n) 0.0
+  and g = Array.make (n * n) 0.0
+  and b = Array.make (n * n) 0.0 in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      let c = at (y + 1) (x + 1) in
+      let up = at y (x + 1) and dn = at (y + 2) (x + 1) in
+      let lf = at (y + 1) x and rt = at (y + 1) (x + 2) in
+      let ul = at y x and ur = at y (x + 2) in
+      let dl = at (y + 2) x and dr = at (y + 2) (x + 2) in
+      let cross = (up +. dn +. lf +. rt) *. 0.25 in
+      let diag = (ul +. ur +. dl +. dr) *. 0.25 in
+      let horiz = (lf +. rt) *. 0.5 in
+      let vert = (up +. dn) *. 0.5 in
+      let px = x mod 2 and py = y mod 2 in
+      let i = (y * n) + x in
+      r.(i) <-
+        (if py = 0 then if px = 0 then c else horiz
+         else if px = 0 then vert
+         else diag);
+      g.(i) <- (if px = py then cross else c);
+      b.(i) <-
+        (if py = 0 then if px = 0 then diag else vert
+         else if px = 0 then horiz
+         else c)
+    done
+  done;
+  [ ("r", r); ("g", g); ("b", b) ]
+
+let workload : Workload.t =
+  {
+    name = "demosaic";
+    description = "image reconstruction (Bayer demosaicing)";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 12.0 *. float_of_int (n * n));
+    moved_bytes = (fun n -> 4.0 *. 4.0 *. float_of_int (n * n));
+    sizes = [ 512; 1024; 2048 ];
+    test_size = 64;
+    bench_size = 1024;
+    tolerance = 1e-5;
+    in_cublas = false;
+  }

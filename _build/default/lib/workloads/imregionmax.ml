@@ -1,0 +1,62 @@
+(** Regional maxima (paper Table 1: "imregionmax", 26 LOC, 1k-4k): a pixel
+    is a regional maximum when it is strictly greater than its 8
+    neighbors. The input carries a 1-pixel border so the naive kernel
+    reads its neighborhood unguarded. *)
+
+let source n =
+  let p = n + 2 in
+  Printf.sprintf
+    {|#pragma gpcc output out
+__kernel void imregionmax(float a[%d][%d], float out[%d][%d]) {
+  float c = a[idy + 1][idx + 1];
+  float m = a[idy][idx];
+  m = fmaxf(m, a[idy][idx + 1]);
+  m = fmaxf(m, a[idy][idx + 2]);
+  m = fmaxf(m, a[idy + 1][idx]);
+  m = fmaxf(m, a[idy + 1][idx + 2]);
+  m = fmaxf(m, a[idy + 2][idx]);
+  m = fmaxf(m, a[idy + 2][idx + 1]);
+  m = fmaxf(m, a[idy + 2][idx + 2]);
+  out[idy][idx] = c > m ? 1.0 : 0.0;
+}
+|}
+    p p n n
+
+let inputs n =
+  let p = n + 2 in
+  [ ("a", Workload.gen ~seed:16 (p * p)) ]
+
+let reference n input =
+  let p = n + 2 in
+  let a = input "a" in
+  let at y x = a.((y * p) + x) in
+  let out = Array.make (n * n) 0.0 in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      let c = at (y + 1) (x + 1) in
+      let m = ref neg_infinity in
+      for dy = 0 to 2 do
+        for dx = 0 to 2 do
+          if not (dy = 1 && dx = 1) then m := Float.max !m (at (y + dy) (x + dx))
+        done
+      done;
+      out.((y * n) + x) <- (if c > !m then 1.0 else 0.0)
+    done
+  done;
+  [ ("out", out) ]
+
+let workload : Workload.t =
+  {
+    name = "imregionmax";
+    description = "regional maxima of an image";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 9.0 *. float_of_int (n * n));
+    moved_bytes = (fun n -> 4.0 *. 2.0 *. float_of_int (n * n));
+    sizes = [ 512; 1024; 2048 ];
+    test_size = 64;
+    bench_size = 1024;
+    tolerance = 0.0;
+    in_cublas = false;
+  }

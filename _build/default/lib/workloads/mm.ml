@@ -1,0 +1,48 @@
+(** Matrix multiplication (paper Table 1: "mm", 10 LOC, 1k-4k), the
+    Section 5 case study. *)
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc dim w %d
+#pragma gpcc output c
+__kernel void mm(float a[%d][%d], float b[%d][%d], float c[%d][%d], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++)
+    sum += a[idy][i] * b[i][idx];
+  c[idy][idx] = sum;
+}
+|}
+    n n n n n n n
+
+let inputs n =
+  [ ("a", Workload.gen ~seed:1 (n * n)); ("b", Workload.gen ~seed:2 (n * n)) ]
+
+let reference n input =
+  let a = input "a" and b = input "b" in
+  let c = Array.make (n * n) 0.0 in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        s := !s +. (a.((y * n) + i) *. b.((i * n) + x))
+      done;
+      c.((y * n) + x) <- !s
+    done
+  done;
+  [ ("c", c) ]
+
+let workload : Workload.t =
+  {
+    name = "mm";
+    description = "matrix multiplication";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 2.0 *. (float_of_int n ** 3.0));
+    moved_bytes = (fun n -> 3.0 *. 4.0 *. float_of_int (n * n));
+    sizes = [ 1024; 2048; 4096 ];
+    test_size = 64;
+    bench_size = 1024;
+    tolerance = 1e-3;
+    in_cublas = true;
+  }

@@ -1,0 +1,48 @@
+(** Matrix-vector multiplication (paper Table 1: "mv", 11 LOC, 1k-4k) —
+    the paper's Figure 2b naive kernel and the Figure 16 partition-camping
+    study. *)
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc dim w %d
+#pragma gpcc output c
+__kernel void mv(float a[%d][%d], float b[%d], float c[%d], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++) {
+    sum += a[idx][i] * b[i];
+  }
+  c[idx] = sum;
+}
+|}
+    n n n n n
+
+let inputs n =
+  [ ("a", Workload.gen ~seed:3 (n * n)); ("b", Workload.gen ~seed:4 n) ]
+
+let reference n input =
+  let a = input "a" and b = input "b" in
+  let c = Array.make n 0.0 in
+  for r = 0 to n - 1 do
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. (a.((r * n) + i) *. b.(i))
+    done;
+    c.(r) <- !s
+  done;
+  [ ("c", c) ]
+
+let workload : Workload.t =
+  {
+    name = "mv";
+    description = "matrix-vector multiplication";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 2.0 *. float_of_int (n * n));
+    moved_bytes = (fun n -> 4.0 *. float_of_int ((n * n) + (2 * n)));
+    sizes = [ 1024; 2048; 4096 ];
+    test_size = 64;
+    bench_size = 2048;
+    tolerance = 1e-3;
+    in_cublas = true;
+  }

@@ -1,0 +1,67 @@
+(** Reduction (paper Table 1: "rd", 9 LOC, 1-16 million elements).
+
+    The naive kernel uses the paper's [#pragma] interface to convey the
+    input vector length and the actual output, plus the grid-wide
+    [__global_sync()] the paper supports for naive kernels that
+    synchronize across output elements: a fixed pool of threads computes
+    strided partial sums, and after the barrier thread 0 folds them. *)
+
+let threads = 4096
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc dim len %d
+#pragma gpcc dim nt %d
+#pragma gpcc dim __threads_x %d
+#pragma gpcc output out
+__kernel void rd(float a[%d], float partial[%d], float out[16], int len, int nt) {
+  float sum = 0;
+  for (int i = idx; i < len; i += nt)
+    sum += a[i];
+  partial[idx] = sum;
+  __global_sync();
+  if (idx == 0) {
+    float total = 0;
+    for (int j = 0; j < nt; j++)
+      total += partial[j];
+    out[0] = total;
+  }
+}
+|}
+    n threads threads n threads
+
+let inputs n = [ ("a", Workload.gen ~seed:9 n) ]
+
+let reference n input =
+  let a = input "a" in
+  (* match the device's summation grouping to keep float error small:
+     strided partials, then an ordered fold *)
+  let partial = Array.make threads 0.0 in
+  for t = 0 to threads - 1 do
+    let s = ref 0.0 in
+    let i = ref t in
+    while !i < n do
+      s := !s +. a.(!i);
+      i := !i + threads
+    done;
+    partial.(t) <- !s
+  done;
+  let out = Array.make 16 0.0 in
+  out.(0) <- Array.fold_left ( +. ) 0.0 partial;
+  [ ("out", out) ]
+
+let workload : Workload.t =
+  {
+    name = "rd";
+    description = "reduction (vector sum)";
+    source;
+    inputs;
+    reference;
+    flops = float_of_int;
+    moved_bytes = (fun n -> 4.0 *. float_of_int n);
+    sizes = [ 1048576; 4194304; 16777216 ];
+    test_size = 65536;
+    bench_size = 1048576;
+    tolerance = 2e-2;
+    in_cublas = true;
+  }

@@ -1,0 +1,67 @@
+(** Complex-number reduction (the paper's Figure 14 vectorization study,
+    CUBLAS counterpart: CublasScasum — sum of |Re| + |Im|).
+
+    The naive kernel reads the real and imaginary parts with two separate
+    float accesses [a[2*i]] and [a[2*i+1]], exactly as the paper's
+    modified rd kernel does; the vectorization pass is what turns the pair
+    into one [float2] load. [n] is the number of complex elements. *)
+
+let threads = 4096
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc dim len %d
+#pragma gpcc dim nt %d
+#pragma gpcc dim __threads_x %d
+#pragma gpcc output out
+__kernel void rdc(float a[%d], float partial[%d], float out[16], int len, int nt) {
+  float sum = 0;
+  for (int i = idx; i < len; i += nt) {
+    sum += fabsf(a[2 * i]);
+    sum += fabsf(a[2 * i + 1]);
+  }
+  partial[idx] = sum;
+  __global_sync();
+  if (idx == 0) {
+    float total = 0;
+    for (int j = 0; j < nt; j++)
+      total += partial[j];
+    out[0] = total;
+  }
+}
+|}
+    n threads threads (2 * n) threads
+
+let inputs n = [ ("a", Workload.gen ~seed:17 (2 * n)) ]
+
+let reference n input =
+  let a = input "a" in
+  let partial = Array.make threads 0.0 in
+  for t = 0 to threads - 1 do
+    let s = ref 0.0 in
+    let i = ref t in
+    while !i < n do
+      s := !s +. Float.abs a.(2 * !i) +. Float.abs a.((2 * !i) + 1);
+      i := !i + threads
+    done;
+    partial.(t) <- !s
+  done;
+  let out = Array.make 16 0.0 in
+  out.(0) <- Array.fold_left ( +. ) 0.0 partial;
+  [ ("out", out) ]
+
+let workload : Workload.t =
+  {
+    name = "rd-complex";
+    description = "complex reduction (scasum)";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 4.0 *. float_of_int n);
+    moved_bytes = (fun n -> 8.0 *. float_of_int n);
+    sizes = [ 1048576; 4194304; 16777216 ];
+    test_size = 65536;
+    bench_size = 1048576;
+    tolerance = 2e-2;
+    in_cublas = true;
+  }

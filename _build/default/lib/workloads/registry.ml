@@ -1,0 +1,26 @@
+(** All workloads of the paper's Table 1, in its order. *)
+
+let all : Workload.t list =
+  [
+    Tmv.workload;
+    Mm.workload;
+    Mv.workload;
+    Vv.workload;
+    Rd.workload;
+    Strsm.workload;
+    Conv.workload;
+    Tp.workload;
+    Demosaic.workload;
+    Imregionmax.workload;
+  ]
+
+(** Extension workloads beyond Table 1. *)
+let extras : Workload.t list = [ Rd_complex.workload; Fft.workload ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) (all @ extras)
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg ("unknown workload " ^ name)

@@ -1,0 +1,50 @@
+(** The CUDA-SDK transpose comparators of the paper's Figure 15:
+    - "SDK prev": the classic 16x16 shared-tile transpose (coalesced both
+      ways, but partition camping on large power-of-two matrices);
+    - "SDK new": the same tile plus the diagonal block reordering of
+      Ruetsch & Micikevicius.
+
+    Both are fixed artifacts, parsed and run directly. *)
+
+open Gpcc_ast
+
+let prev_source n =
+  Printf.sprintf
+    {|#pragma gpcc output b
+__kernel void sdk_tp_prev(float a[%d][%d], float b[%d][%d]) {
+  __shared__ float tile[16][17];
+  tile[tidy][tidx] = a[idy][idx];
+  __syncthreads();
+  b[idx - tidx + tidy][idy - tidy + tidx] = tile[tidx][tidy];
+}
+|}
+    n n n n
+
+let new_source n =
+  Printf.sprintf
+    {|#pragma gpcc output b
+__kernel void sdk_tp_new(float a[%d][%d], float b[%d][%d]) {
+  __shared__ float tile[16][17];
+  int nbx = (bidx + bidy) %% gdimx;
+  int nby = bidx;
+  int x = nbx * 16 + tidx;
+  int y = nby * 16 + tidy;
+  tile[tidy][tidx] = a[y][x];
+  __syncthreads();
+  b[x - tidx + tidy][y - tidy + tidx] = tile[tidx][tidy];
+}
+|}
+    n n n n
+
+let launch n =
+  { Ast.grid_x = n / 16; grid_y = n / 16; block_x = 16; block_y = 16 }
+
+let prev n =
+  let k = Parser.kernel_of_string (prev_source n) in
+  Typecheck.check k;
+  (k, launch n)
+
+let new_ n =
+  let k = Parser.kernel_of_string (new_source n) in
+  Typecheck.check k;
+  (k, launch n)

@@ -1,0 +1,60 @@
+(** Matrix equation solver (paper Table 1: "strsm", 18 LOC, 1k-4k).
+
+    Substitution note (recorded in DESIGN.md): a triangular solve is
+    sequential across rows, so its GPU implementations are dominated by
+    the triangular matrix-matrix update of the already-solved panel. The
+    naive kernel here is that computational core — each fine-grain work
+    item computes one element of [X = L * B] with [L] unit lower
+    triangular (equivalently, the substitution update of strsm), guarded
+    per iteration exactly as a naive data-parallel port would be. This
+    preserves what the paper's evaluation exercises: an mm-like kernel
+    with a thread-position-dependent guard. *)
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc dim w %d
+#pragma gpcc output x
+__kernel void strsm(float l[%d][%d], float b[%d][%d], float x[%d][%d], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++) {
+    if (i < idy) {
+      sum += l[idy][i] * b[i][idx];
+    }
+  }
+  x[idy][idx] = b[idy][idx] + sum;
+}
+|}
+    n n n n n n n
+
+let inputs n =
+  [ ("l", Workload.gen ~seed:10 (n * n)); ("b", Workload.gen ~seed:11 (n * n)) ]
+
+let reference n input =
+  let l = input "l" and b = input "b" in
+  let x = Array.make (n * n) 0.0 in
+  for y = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      let s = ref 0.0 in
+      for i = 0 to y - 1 do
+        s := !s +. (l.((y * n) + i) *. b.((i * n) + c))
+      done;
+      x.((y * n) + c) <- b.((y * n) + c) +. !s
+    done
+  done;
+  [ ("x", x) ]
+
+let workload : Workload.t =
+  {
+    name = "strsm";
+    description = "matrix equation solver (triangular update)";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> float_of_int n ** 3.0);
+    moved_bytes = (fun n -> 3.0 *. 4.0 *. float_of_int (n * n));
+    sizes = [ 1024; 2048; 4096 ];
+    test_size = 64;
+    bench_size = 1024;
+    tolerance = 1e-3;
+    in_cublas = true;
+  }

@@ -1,0 +1,49 @@
+(** Transposed-matrix-vector multiplication (paper Table 1: "tmv", 11 LOC,
+    1k-4k): [c = A^T b], reading [a] column-wise per output — which on the
+    row-major layout makes the matrix access coalesced and the vector
+    access a loop-index access to stage. *)
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc dim w %d
+#pragma gpcc output c
+__kernel void tmv(float a[%d][%d], float b[%d], float c[%d], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++) {
+    sum += a[i][idx] * b[i];
+  }
+  c[idx] = sum;
+}
+|}
+    n n n n n
+
+let inputs n =
+  [ ("a", Workload.gen ~seed:5 (n * n)); ("b", Workload.gen ~seed:6 n) ]
+
+let reference n input =
+  let a = input "a" and b = input "b" in
+  let c = Array.make n 0.0 in
+  for col = 0 to n - 1 do
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. (a.((i * n) + col) *. b.(i))
+    done;
+    c.(col) <- !s
+  done;
+  [ ("c", c) ]
+
+let workload : Workload.t =
+  {
+    name = "tmv";
+    description = "transposed-matrix-vector multiplication";
+    source;
+    inputs;
+    reference;
+    flops = (fun n -> 2.0 *. float_of_int (n * n));
+    moved_bytes = (fun n -> 4.0 *. float_of_int ((n * n) + (2 * n)));
+    sizes = [ 1024; 2048; 4096 ];
+    test_size = 64;
+    bench_size = 2048;
+    tolerance = 1e-3;
+    in_cublas = true;
+  }

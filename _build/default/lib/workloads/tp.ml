@@ -1,0 +1,41 @@
+(** Matrix transpose (paper Table 1: "tp", 11 LOC, 1k-8k) — the Figure 15
+    bandwidth study, and the showcase for partition-camping elimination by
+    diagonal block reordering. No floating-point work: the paper reports
+    effective bandwidth. *)
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc output b
+__kernel void tp(float a[%d][%d], float b[%d][%d]) {
+  b[idx][idy] = a[idy][idx];
+}
+|}
+    n n n n
+
+let inputs n = [ ("a", Workload.gen ~seed:12 (n * n)) ]
+
+let reference n input =
+  let a = input "a" in
+  let b = Array.make (n * n) 0.0 in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      b.((x * n) + y) <- a.((y * n) + x)
+    done
+  done;
+  [ ("b", b) ]
+
+let workload : Workload.t =
+  {
+    name = "tp";
+    description = "matrix transpose";
+    source;
+    inputs;
+    reference;
+    flops = (fun _ -> 0.0);
+    moved_bytes = (fun n -> 2.0 *. 4.0 *. float_of_int (n * n));
+    sizes = [ 1024; 2048; 4096; 8192 ];
+    test_size = 64;
+    bench_size = 4096;
+    tolerance = 0.0;
+    in_cublas = false;
+  }

@@ -1,0 +1,34 @@
+(** Vector-vector (element-wise) multiplication (paper Table 1: "vv",
+    3 LOC, 1k-4k elements) — pure bandwidth. *)
+
+let source n =
+  Printf.sprintf
+    {|#pragma gpcc output c
+__kernel void vv(float a[%d], float b[%d], float c[%d]) {
+  c[idx] = a[idx] * b[idx];
+}
+|}
+    n n n
+
+let inputs n =
+  [ ("a", Workload.gen ~seed:7 n); ("b", Workload.gen ~seed:8 n) ]
+
+let reference n input =
+  let a = input "a" and b = input "b" in
+  [ ("c", Array.init n (fun i -> a.(i) *. b.(i))) ]
+
+let workload : Workload.t =
+  {
+    name = "vv";
+    description = "vector-vector multiplication";
+    source;
+    inputs;
+    reference;
+    flops = float_of_int;
+    moved_bytes = (fun n -> 12.0 *. float_of_int n);
+    sizes = [ 1024; 2048; 4096 ];
+    test_size = 1024;
+    bench_size = 4096;
+    tolerance = 1e-5;
+    in_cublas = true;
+  }

@@ -1,0 +1,111 @@
+(** Benchmark workloads: the paper's Table 1 algorithms.
+
+    A workload packages, for each problem size: the naive kernel source
+    (the compiler's input), deterministic input data, a CPU reference
+    implementation, and the operation counts used to report GFLOPS or
+    effective bandwidth. *)
+
+open Gpcc_ast
+
+type t = {
+  name : string;
+  description : string;
+  source : int -> string;  (** naive kernel source for problem size [n] *)
+  inputs : int -> (string * float array) list;
+      (** input arrays in logical row-major order *)
+  reference : int -> (string -> float array) -> (string * float array) list;
+      (** expected contents of the output arrays *)
+  flops : int -> float;  (** floating-point operations of one run *)
+  moved_bytes : int -> float;
+      (** algorithmically required off-chip traffic (for bandwidth plots) *)
+  sizes : int list;  (** the paper's size sweep *)
+  test_size : int;  (** small size for full-grid correctness runs *)
+  bench_size : int;
+  tolerance : float;  (** relative tolerance for output comparison *)
+  in_cublas : bool;  (** has a CUBLAS counterpart (paper Figure 13) *)
+}
+
+(** Deterministic pseudo-random inputs in [-1, 1): reproducible and mild
+    enough that float32-vs-float64 drift stays below the tolerances. *)
+let gen ~(seed : int) (n : int) : float array =
+  Array.init n (fun i ->
+      let h = (i * 2654435761) + (seed * 40503) in
+      let h = h lxor (h lsr 13) in
+      float_of_int (((h land 0xffff) * 2) - 0x10000) /. 65536.0)
+
+let parse (w : t) (n : int) : Ast.kernel =
+  let k = Parser.kernel_of_string (w.source n) in
+  Typecheck.check k;
+  k
+
+(** Lines of code of the naive kernel, for Table 1. *)
+let naive_loc (w : t) : int =
+  let src = w.source w.test_size in
+  (* count the kernel body and signature, not the pragma header *)
+  String.split_on_char '\n' src
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         l <> "" && not (String.length l > 7 && String.sub l 0 7 = "#pragma"))
+  |> List.length
+
+exception Check_failed of string
+
+(** Upload inputs, run the kernel, return the simulator result and the
+    output arrays. *)
+let execute ?(mode = Gpcc_sim.Launch.Full) ?streams (cfg : Gpcc_sim.Config.t)
+    (w : t) (n : int) (k : Ast.kernel) (launch : Ast.launch) :
+    Gpcc_sim.Launch.result * (string -> float array) =
+  let mem = Gpcc_sim.Devmem.of_kernel k in
+  List.iter
+    (fun (name, data) -> Gpcc_sim.Devmem.write mem name data)
+    (w.inputs n);
+  let r = Gpcc_sim.Launch.run ~mode ?streams cfg k launch mem in
+  (r, fun name -> Gpcc_sim.Devmem.read mem name)
+
+(** Full-grid run checked against the CPU reference. *)
+let check (cfg : Gpcc_sim.Config.t) (w : t) (n : int) (k : Ast.kernel)
+    (launch : Ast.launch) : unit =
+  let _, read = execute ~mode:Gpcc_sim.Launch.Full cfg w n k launch in
+  let inputs = w.inputs n in
+  let input name = List.assoc name inputs in
+  let expected = w.reference n input in
+  List.iter
+    (fun (name, want) ->
+      let got = read name in
+      if Array.length got <> Array.length want then
+        raise
+          (Check_failed
+             (Printf.sprintf "%s/%s: output %s has %d elements, expected %d"
+                w.name (string_of_int n) name (Array.length got)
+                (Array.length want)));
+      Array.iteri
+        (fun i want_i ->
+          let got_i = got.(i) in
+          let scale = Float.max 1.0 (Float.abs want_i) in
+          if Float.abs (got_i -. want_i) > w.tolerance *. scale then
+            raise
+              (Check_failed
+                 (Printf.sprintf
+                    "%s (n=%d): output %s[%d] = %.6f, expected %.6f" w.name n
+                    name i got_i want_i)))
+        want)
+    expected
+
+(** Simulated performance of a kernel on this workload (sampled blocks). *)
+let measure ?(sample = 4) ?streams (cfg : Gpcc_sim.Config.t) (w : t) (n : int)
+    (k : Ast.kernel) (launch : Ast.launch) : Gpcc_sim.Timing.result =
+  let r, _ =
+    execute ~mode:(Gpcc_sim.Launch.Sampled sample) ?streams cfg w n k launch
+  in
+  r.timing
+
+(** GFLOPS measurement function for {!Gpcc_core.Explore}. *)
+let measure_gflops ?sample ?streams (cfg : Gpcc_sim.Config.t) (w : t) (n : int) :
+    Ast.kernel -> Ast.launch -> float =
+ fun k launch -> (measure ?sample ?streams cfg w n k launch).gflops
+
+(** Effective bandwidth in GB/s based on the algorithmic byte count (the
+    paper uses this metric for transpose, which has no flops). *)
+let effective_bandwidth (w : t) (n : int) (t : Gpcc_sim.Timing.result) : float
+    =
+  w.moved_bytes n /. (t.time_ms /. 1e3) /. 1e9

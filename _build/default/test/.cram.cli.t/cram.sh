@@ -1,0 +1,19 @@
+  $ gpcc list | awk '{print $1}'
+  $ cat > mm.cu <<'SRC'
+  > #pragma gpcc dim w 64
+  > #pragma gpcc output c
+  > __kernel void mm(float a[64][64], float b[64][64], float c[64][64], int w) {
+  >   float sum = 0;
+  >   for (int i = 0; i < w; i++)
+  >     sum += a[idy][i] * b[i][idx];
+  >   c[idy][idx] = sum;
+  > }
+  > SRC
+  $ gpcc check mm.cu
+  $ gpcc compile -t 64 -m 4 mm.cu | grep -c 'sum_3\|if (tidx < 16)\|__shared__'
+  $ cat > bad.cu <<'SRC'
+  > __kernel void f(float o[16]) {
+  >   o[idx] = nope;
+  > }
+  > SRC
+  $ gpcc compile bad.cu

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Gpcc_analysis Gpcc_ast List QCheck QCheck_alcotest Test Util

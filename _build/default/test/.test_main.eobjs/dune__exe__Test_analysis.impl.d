@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Ast Coalesce_check Gpcc_analysis Gpcc_ast Gpcc_passes Gpcc_workloads Layout List Option Regcount Sharing Util

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Gpcc_core Gpcc_passes Gpcc_sim Gpcc_workloads List Option Printexc Printf Util

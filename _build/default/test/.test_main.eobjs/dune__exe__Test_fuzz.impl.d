@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Gpcc_ast Gpcc_core Gpcc_passes Gpcc_workloads List Option Printexc Printf QCheck QCheck_alcotest String Util

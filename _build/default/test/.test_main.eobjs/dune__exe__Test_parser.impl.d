@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Gpcc_ast Lexer List Parser Pp QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Ast Gpcc_ast Gpcc_passes List Pp QCheck QCheck_alcotest Rewrite Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ast Coalescer Config Devmem Gpcc_ast Gpcc_passes Gpcc_sim List Occupancy Printf Stats Timing Util

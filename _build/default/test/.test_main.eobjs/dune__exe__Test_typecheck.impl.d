@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Gpcc_ast Gpcc_workloads List Parser Typecheck Util

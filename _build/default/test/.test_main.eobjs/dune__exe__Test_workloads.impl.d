@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Gpcc_ast Gpcc_passes Gpcc_workloads List Option Printf Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Ast Float Fmt Gpcc_ast Gpcc_core Gpcc_sim Gpcc_workloads List Parser Pp Printf String Typecheck

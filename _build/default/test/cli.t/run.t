@@ -1,0 +1,49 @@
+The gpcc command line lists the paper's Table-1 workloads:
+
+  $ gpcc list | awk '{print $1}'
+  tmv
+  mm
+  mv
+  vv
+  rd
+  strsm
+  conv
+  tp
+  demosaic
+  imregionmax
+  rd-complex
+  fft
+
+Coalescing verdicts for the paper's Figure 2a kernel:
+
+  $ cat > mm.cu <<'SRC'
+  > #pragma gpcc dim w 64
+  > #pragma gpcc output c
+  > __kernel void mm(float a[64][64], float b[64][64], float c[64][64], int w) {
+  >   float sum = 0;
+  >   for (int i = 0; i < w; i++)
+  >     sum += a[idy][i] * b[i][idx];
+  >   c[idy][idx] = sum;
+  > }
+  > SRC
+  $ gpcc check mm.cu
+  type check: OK
+    a[idy][i] load (64*tidy + 64*bidy + iter(i)): (Noncoalesced Uniform)
+    b[i][idx] load (tidx + 16*bidx + 64*iter(i)): Coalesced
+    c[idy][idx] store (tidx + 64*tidy + 16*bidx + 64*bidy): Coalesced
+
+Compilation produces the paper's Figure 3a/5/7 shape:
+
+  $ gpcc compile -t 64 -m 4 mm.cu | grep -c 'sum_3\|if (tidx < 16)\|__shared__'
+  12
+
+Errors are reported with positions:
+
+  $ cat > bad.cu <<'SRC'
+  > __kernel void f(float o[16]) {
+  >   o[idx] = nope;
+  > }
+  > SRC
+  $ gpcc compile bad.cu
+  type error: undeclared variable nope
+  [1]

@@ -1,0 +1,163 @@
+(** Differential fuzzing of the whole pipeline: generate random naive
+    kernels (reduction loops, stencil neighborhoods, guards, interleaved
+    pairs), compile them with random merge configurations, and check that
+    the optimized kernel computes exactly what the naive kernel computes
+    over the full grid. The interpreter itself is validated against CPU
+    references elsewhere (test_workloads), so a mismatch here indicts a
+    transformation. *)
+
+open Util
+
+let dim = 64
+
+(* --- random kernel generation --- *)
+
+type spec = {
+  terms : string list;  (** summand expressions inside the loop *)
+  guard : string option;
+  post : string;  (** final combine of the accumulator *)
+  step : int;
+}
+
+let term_pool =
+  [|
+    "a[idy][i]";
+    "b[i][idx]";
+    "a[idy][i] * b[i][idx]";
+    "v[i]";
+    "a[idy][i] + v[i]";
+    "b[i][idx] * 2.0";
+    "v[i] * a[idy][i]";
+    "a[idy][i] - 1.0";
+    "p[2 * i] + p[2 * i + 1]";
+    "b[i][idx] * v[i]";
+  |]
+
+let guard_pool =
+  [| "i < idy"; "i + 1 < idx"; "idx % 2 == 0"; "i % 2 == 0" |]
+
+let post_pool =
+  [| "s"; "s * 0.5"; "s + a[idy][idx]"; "s - b[idy][idx]"; "0.0 - s" |]
+
+let gen_spec : spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* nterms = int_range 1 3 in
+  let* terms = list_repeat nterms (oneofa term_pool) in
+  let* guard = opt (oneofa guard_pool) in
+  let* post = oneofa post_pool in
+  let* step = oneofl [ 1; 1; 1; 2 ] in
+  return { terms; guard; post; step }
+
+let source_of_spec (s : spec) : string =
+  let body =
+    String.concat "\n"
+      (List.map (fun t -> Printf.sprintf "      s += %s;" t) s.terms)
+  in
+  let loop =
+    match s.guard with
+    | None ->
+        Printf.sprintf "  for (int i = 0; i < w; i += %d) {\n%s\n  }" s.step
+          body
+    | Some g ->
+        Printf.sprintf
+          "  for (int i = 0; i < w; i += %d) {\n    if (%s) {\n  %s\n    }\n  }"
+          s.step g
+          (String.concat "\n"
+             (List.map (fun t -> Printf.sprintf "      s += %s;" t) s.terms))
+  in
+  Printf.sprintf
+    {|#pragma gpcc dim w %d
+#pragma gpcc output out
+__kernel void fuzz(float a[%d][%d], float b[%d][%d], float v[%d], float p[%d], float out[%d][%d], int w) {
+  float s = 0;
+%s
+  out[idy][idx] = %s;
+}|}
+    dim dim dim dim dim dim (2 * dim) dim dim loop s.post
+
+let spec_print s = source_of_spec s
+
+let inputs =
+  [
+    ("a", Gpcc_workloads.Workload.gen ~seed:41 (dim * dim));
+    ("b", Gpcc_workloads.Workload.gen ~seed:42 (dim * dim));
+    ("v", Gpcc_workloads.Workload.gen ~seed:43 dim);
+    ("p", Gpcc_workloads.Workload.gen ~seed:44 (2 * dim));
+  ]
+
+let knob_gen : (int * int * bool) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* target = oneofl [ 32; 64; 128; 256 ] in
+  let* degree = oneofl [ 1; 2; 4; 8 ] in
+  let* vec = bool in
+  return (target, degree, vec)
+
+let arb =
+  QCheck.make
+    QCheck.Gen.(pair gen_spec knob_gen)
+    ~print:(fun (s, (t, d, v)) ->
+      Printf.sprintf "target=%d degree=%d vectorize=%b\n%s" t d v
+        (spec_print s))
+
+let pipeline_preserves =
+  QCheck.Test.make ~count:60 ~name:"random kernels: optimized == naive" arb
+    (fun (spec, (target, degree, vec)) ->
+      let src = source_of_spec spec in
+      let k =
+        try parse_kernel src
+        with e ->
+          QCheck.Test.fail_reportf "generated kernel rejected: %s\n%s"
+            (Printexc.to_string e) src
+      in
+      let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
+      let want, _ = run_full k launch inputs "out" in
+      let opts =
+        {
+          (Gpcc_core.Compiler.default_options ~cfg:cfg280 ()) with
+          target_block_threads = target;
+          merge_degree = degree;
+          enable_vectorize = vec;
+        }
+      in
+      match Gpcc_core.Compiler.run ~opts k with
+      | r -> (
+          match run_full r.kernel r.launch inputs "out" with
+          | got, _ ->
+              if floats_close ~eps:1e-3 got want then true
+              else
+                QCheck.Test.fail_reportf
+                  "outputs differ\n--- optimized ---\n%s"
+                  (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel)
+          | exception e ->
+              QCheck.Test.fail_reportf "optimized kernel crashed: %s\n%s"
+                (Printexc.to_string e)
+                (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel))
+      | exception Gpcc_core.Compiler.Compile_error m ->
+          QCheck.Test.fail_reportf "compile error: %s" m)
+
+let pipeline_preserves_8800 =
+  QCheck.Test.make ~count:25 ~name:"random kernels: optimized == naive (GTX8800)"
+    arb
+    (fun (spec, (target, degree, vec)) ->
+      let src = source_of_spec spec in
+      let k = parse_kernel src in
+      let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
+      let want, _ = run_full ~cfg:cfg8800 k launch inputs "out" in
+      let opts =
+        {
+          (Gpcc_core.Compiler.default_options ~cfg:cfg8800 ()) with
+          target_block_threads = target;
+          merge_degree = degree;
+          enable_vectorize = vec;
+        }
+      in
+      let r = Gpcc_core.Compiler.run ~opts k in
+      let got, _ = run_full ~cfg:cfg8800 r.kernel r.launch inputs "out" in
+      floats_close ~eps:1e-3 got want)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest ~long:true pipeline_preserves;
+      QCheck_alcotest.to_alcotest ~long:true pipeline_preserves_8800;
+    ] )

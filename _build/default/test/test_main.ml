@@ -1,0 +1,16 @@
+(** Test-suite entry point: every module contributes one Alcotest suite. *)
+
+let () =
+  Alcotest.run "gpcc"
+    [
+      Test_parser.suite;
+      Test_typecheck.suite;
+      Test_affine.suite;
+      Test_rewrite.suite;
+      Test_analysis.suite;
+      Test_sim.suite;
+      Test_passes.suite;
+      Test_workloads.suite;
+      Test_compiler.suite;
+      Test_fuzz.suite;
+    ]

@@ -1,0 +1,449 @@
+(** Simulator tests: device memory, the coalescer's strict and relaxed
+    rules, shared-memory bank conflicts, the SIMT interpreter's semantics
+    (divergence, loops, shared memory, vectors, grid barriers), occupancy,
+    and the timing model's monotonicity. *)
+
+open Gpcc_ast
+open Gpcc_sim
+open Util
+
+(* --- devmem --- *)
+
+let test_devmem_roundtrip () =
+  let k =
+    parse_kernel
+      "__kernel void f(float a[10][10], float o[16]) { o[idx] = a[0][0]; }"
+  in
+  let mem = Devmem.of_kernel k in
+  let data = Array.init 100 float_of_int in
+  Devmem.write mem "a" data;
+  Alcotest.(check bool) "write/read round trip" true (Devmem.read mem "a" = data);
+  (* padded pitch: logical row 1 starts at padded offset 16 *)
+  let a = Devmem.find_exn mem "a" in
+  Alcotest.(check int) "padded offset" 16 (Devmem.offset a [ 1; 0 ]);
+  Alcotest.(check (float 0.0)) "padded storage" 10.0 a.Devmem.data.(16)
+
+let test_devmem_bases_aligned () =
+  let k =
+    parse_kernel
+      "__kernel void f(float a[100], float b[100], float o[16]) { o[idx] = a[0] + b[0]; }"
+  in
+  let mem = Devmem.of_kernel k in
+  let a = Devmem.find_exn mem "a" and b = Devmem.find_exn mem "b" in
+  Alcotest.(check int) "a base aligned" 0 (a.Devmem.base mod 256);
+  Alcotest.(check int) "b base aligned" 0 (b.Devmem.base mod 256);
+  Alcotest.(check bool) "disjoint" true (b.Devmem.base >= a.Devmem.base + 400)
+
+let test_devmem_size_mismatch () =
+  let k = parse_kernel "__kernel void f(float a[10], float o[16]) { o[idx] = a[0]; }" in
+  let mem = Devmem.of_kernel k in
+  match Devmem.write mem "a" (Array.make 11 0.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "size mismatch accepted"
+
+(* --- coalescer --- *)
+
+let lanes16 f = List.init 16 (fun l -> (l, f l))
+
+let test_strict_coalesced () =
+  let txs =
+    Coalescer.global_request Config.Strict_g80 ~min_tx:32 ~elt_bytes:4
+      (lanes16 (fun l -> 1024 + (4 * l)))
+  in
+  Alcotest.(check int) "one transaction" 1 (List.length txs);
+  Alcotest.(check int) "64 bytes" 64 (List.hd txs).Coalescer.tx_bytes
+
+let test_strict_misaligned_serializes () =
+  let txs =
+    Coalescer.global_request Config.Strict_g80 ~min_tx:32 ~elt_bytes:4
+      (lanes16 (fun l -> 1028 + (4 * l)))
+  in
+  Alcotest.(check int) "16 transactions" 16 (List.length txs);
+  Alcotest.(check int) "each pays min size" 32 (List.hd txs).Coalescer.tx_bytes
+
+let test_strict_permuted_serializes () =
+  (* same segment but wrong lane order: G80 still serializes *)
+  let txs =
+    Coalescer.global_request Config.Strict_g80 ~min_tx:32 ~elt_bytes:4
+      (lanes16 (fun l -> 1024 + (4 * (15 - l))))
+  in
+  Alcotest.(check int) "16 transactions" 16 (List.length txs)
+
+let test_relaxed_misaligned () =
+  (* GT200: a misaligned half warp touches two segments, not sixteen *)
+  let txs =
+    Coalescer.global_request Config.Relaxed_gt200 ~min_tx:32 ~elt_bytes:4
+      (lanes16 (fun l -> 1028 + (4 * l)))
+  in
+  Alcotest.(check int) "two segments" 2 (List.length txs)
+
+let test_relaxed_uniform () =
+  let txs =
+    Coalescer.global_request Config.Relaxed_gt200 ~min_tx:32 ~elt_bytes:4
+      (lanes16 (fun _ -> 2048))
+  in
+  Alcotest.(check int) "single segment" 1 (List.length txs);
+  Alcotest.(check int) "shrunk to 32B" 32 (List.hd txs).Coalescer.tx_bytes
+
+let test_relaxed_strided () =
+  (* stride-2 floats span 128 bytes: two 64B segments, twice the traffic *)
+  let txs =
+    Coalescer.global_request Config.Relaxed_gt200 ~min_tx:32 ~elt_bytes:4
+      (lanes16 (fun l -> 4096 + (8 * l)))
+  in
+  Alcotest.(check int) "two segments" 2 (List.length txs);
+  Alcotest.(check int) "double traffic" 128
+    (List.fold_left (fun a t -> a + t.Coalescer.tx_bytes) 0 txs)
+
+let test_float2_coalesced () =
+  let txs =
+    Coalescer.global_request Config.Strict_g80 ~min_tx:32 ~elt_bytes:8
+      (lanes16 (fun l -> 2048 + (8 * l)))
+  in
+  Alcotest.(check int) "one transaction" 1 (List.length txs);
+  Alcotest.(check int) "128 bytes" 128 (List.hd txs).Coalescer.tx_bytes
+
+let test_partial_halfwarp () =
+  (* inactive lanes do not break the pattern when the active ones fit it *)
+  let txs =
+    Coalescer.global_request Config.Strict_g80 ~min_tx:32 ~elt_bytes:4
+      (List.init 4 (fun l -> (l, 1024 + (4 * l))))
+  in
+  Alcotest.(check int) "still one transaction" 1 (List.length txs);
+  (* but an active lane off-pattern serializes everyone *)
+  let txs =
+    Coalescer.global_request Config.Strict_g80 ~min_tx:32 ~elt_bytes:4
+      [ (0, 1024); (1, 1028); (2, 1036) ]
+  in
+  Alcotest.(check int) "serialized" 3 (List.length txs)
+
+(* --- banks --- *)
+
+let test_banks_conflict_free () =
+  Alcotest.(check int) "unit stride" 1
+    (Coalescer.shared_request ~banks:16 (List.init 16 (fun l -> l)));
+  Alcotest.(check int) "padded stride 17" 1
+    (Coalescer.shared_request ~banks:16 (List.init 16 (fun l -> 17 * l)))
+
+let test_banks_conflicts () =
+  Alcotest.(check int) "stride 16: all one bank" 16
+    (Coalescer.shared_request ~banks:16 (List.init 16 (fun l -> 16 * l)));
+  Alcotest.(check int) "stride 2: pairs" 2
+    (Coalescer.shared_request ~banks:16 (List.init 16 (fun l -> 2 * l)))
+
+let test_banks_broadcast () =
+  Alcotest.(check int) "same word broadcasts" 1
+    (Coalescer.shared_request ~banks:16 (List.init 16 (fun _ -> 5)))
+
+(* --- interpreter semantics --- *)
+
+let launch1 ?(gx = 1) ?(gy = 1) ?(bx = 16) ?(by = 1) () =
+  { Ast.grid_x = gx; grid_y = gy; block_x = bx; block_y = by }
+
+let test_interp_arith () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[16]) {
+  float x = idx * 2 + 1;
+  float y = x / 2.0;
+  o[idx] = y - 0.5 + fmaxf(0.0, 1.0) + sqrtf(4.0);
+}|}
+  in
+  let out, _ = run_full k (launch1 ()) [] "o" in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "o[%d]" i)
+        (float_of_int i +. 3.0)
+        v)
+    out
+
+let test_interp_int_ops () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[16]) {
+  int a = idx % 3;
+  int b = idx / 4;
+  int c = min(a, b) + max(1, 2);
+  o[idx] = c;
+}|}
+  in
+  let out, _ = run_full k (launch1 ()) [] "o" in
+  Array.iteri
+    (fun i v ->
+      let want = float_of_int (min (i mod 3) (i / 4) + 2) in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "o[%d]" i) want v)
+    out
+
+let test_interp_divergence () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[16]) {
+  float x = 0;
+  if (idx % 2 == 0) {
+    x = 1;
+  } else {
+    x = 2;
+  }
+  if (idx < 4) x = x + 10;
+  o[idx] = x;
+}|}
+  in
+  let out, r = run_full k (launch1 ()) [] "o" in
+  Array.iteri
+    (fun i v ->
+      let base = if i mod 2 = 0 then 1.0 else 2.0 in
+      let want = if i < 4 then base +. 10.0 else base in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "o[%d]" i) want v)
+    out;
+  Alcotest.(check bool) "divergence counted" true
+    (r.Gpcc_sim.Launch.per_block.Gpcc_sim.Stats.divergent_branches >= 2.0)
+
+let test_interp_loop_thread_dependent () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[16]) {
+  float s = 0;
+  for (int i = 0; i < idx; i++)
+    s += 1;
+  o[idx] = s;
+}|}
+  in
+  let out, _ = run_full k (launch1 ()) [] "o" in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 0.0)) "trip count" (float_of_int i) v)
+    out
+
+let test_interp_shared_memory () =
+  (* reverse within a block through shared memory: exercises sync + banks *)
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float a[16], float o[16]) {
+  __shared__ float s[16];
+  s[tidx] = a[idx];
+  __syncthreads();
+  o[idx] = s[15 - tidx];
+}|}
+  in
+  let input = Array.init 16 (fun i -> float_of_int (i * i)) in
+  let out, r = run_full k (launch1 ()) [ ("a", input) ] "o" in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 0.0)) "reversed" input.(15 - i) v)
+    out;
+  Alcotest.(check bool) "syncs counted" true
+    (r.Gpcc_sim.Launch.per_block.Gpcc_sim.Stats.syncs >= 1.0)
+
+let test_interp_vector_ops () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[16]) {
+  float2 v = make_float2(3.0, 4.0);
+  float2 w = make_float2(1.0, 2.0);
+  float2 u = v + w;
+  u.x = u.x * 2;
+  o[idx] = u.x + u.y;
+}|}
+  in
+  let out, _ = run_full k (launch1 ()) [] "o" in
+  Array.iter (fun v -> Alcotest.(check (float 1e-6)) "vector arith" 14.0 v) out
+
+let test_interp_vload () =
+  (* Vload built programmatically: o[idx] = a2[idx].x + a2[idx].y *)
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float a[32], float o[16]) {
+  o[idx] = a[2 * idx] + a[2 * idx + 1];
+}|}
+  in
+  let launch = launch1 () in
+  let o = Gpcc_passes.Vectorize.apply k launch in
+  Alcotest.(check bool) "vectorizer fired" true o.fired;
+  let input = Array.init 32 float_of_int in
+  let out, r = run_full o.kernel launch [ ("a", input) ] "o" in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.0)) "pair sum" (float_of_int (4 * i) +. 1.0) v)
+    out;
+  Alcotest.(check bool) "8-byte transactions" true
+    (r.Gpcc_sim.Launch.per_block.Gpcc_sim.Stats.gld_bytes = 128.0)
+
+let test_interp_multi_block_grid () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[64][64]) {
+  o[idy][idx] = idy * 64 + idx;
+}|}
+  in
+  let out, _ =
+    run_full k (launch1 ~gx:4 ~gy:4 ~bx:16 ~by:16 ()) [] "o"
+  in
+  Alcotest.(check int) "size" 4096 (Array.length out);
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 0.0)) "identity" (float_of_int i) v)
+    out
+
+let test_interp_global_sync () =
+  (* two phases: phase 2 reads what *other* blocks wrote in phase 1, and
+     registers survive the barrier *)
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float t[64], float o[64]) {
+  float mine = idx;
+  t[idx] = idx * 2;
+  __global_sync();
+  o[idx] = t[63 - idx] + mine;
+}|}
+  in
+  let out, _ = run_full k (launch1 ~gx:4 ()) [] "o" in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.0)) "cross-block + live register"
+        (float_of_int (((63 - i) * 2) + i))
+        v)
+    out
+
+let test_interp_oob () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float a[8], float o[32]) {
+  o[idx] = a[idx];
+}|}
+  in
+  (* a[8] pads to 16 elements; lanes 16..31 overrun even the padding *)
+  match run_full k (launch1 ~bx:32 ()) [] "o" with
+  | exception Gpcc_sim.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds access not caught"
+
+let test_interp_flop_count () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float a[16], float o[16]) {
+  o[idx] = a[idx] * 2.0 + 1.0;
+}|}
+  in
+  let _, r = run_full k (launch1 ()) [] "o" in
+  Alcotest.(check (float 0.0))
+    "2 flops x 16 lanes" 32.0
+    r.Gpcc_sim.Launch.per_block.Gpcc_sim.Stats.flops
+
+(* --- occupancy --- *)
+
+let test_occupancy_limits () =
+  let occ ~regs ~shared ~tpb =
+    Occupancy.calc cfg280 ~regs_per_thread:regs ~shared_per_block:shared
+      ~threads_per_block:tpb
+  in
+  let o = occ ~regs:10 ~shared:0 ~tpb:256 in
+  Alcotest.(check int) "thread-limited" 4 o.blocks_per_sm;
+  let o = occ ~regs:10 ~shared:9000 ~tpb:128 in
+  Alcotest.(check int) "shared-limited" 1 o.blocks_per_sm;
+  Alcotest.(check string) "labeled" "shared-memory" o.limited_by;
+  let o = occ ~regs:64 ~shared:0 ~tpb:256 in
+  Alcotest.(check int) "register-limited" 1 o.blocks_per_sm;
+  let o = occ ~regs:100 ~shared:0 ~tpb:512 in
+  Alcotest.(check bool) "spill" true o.reg_spill
+
+let test_occupancy_8800_smaller () =
+  let o280 =
+    Occupancy.calc cfg280 ~regs_per_thread:32 ~shared_per_block:0
+      ~threads_per_block:256
+  in
+  let o8800 =
+    Occupancy.calc cfg8800 ~regs_per_thread:32 ~shared_per_block:0
+      ~threads_per_block:256
+  in
+  Alcotest.(check bool) "smaller register file binds earlier" true
+    (o8800.blocks_per_sm < o280.blocks_per_sm)
+
+(* --- timing model --- *)
+
+let test_timing_monotone_in_bytes () =
+  let launch = launch1 ~gx:64 ~bx:256 () in
+  let base = Stats.create () in
+  base.Stats.warp_insts <- 1000.0;
+  base.Stats.flops <- 10000.0;
+  base.Stats.gld_bytes <- 1.0e6;
+  base.Stats.gld_requests <- 100.0;
+  let t1 =
+    Timing.estimate cfg280 ~per_block:base ~launch ~regs_per_thread:16
+      ~shared_per_block:1024 ~partition_eff:1.0 ~mlp:2.0
+  in
+  let more = Stats.scale 1.0 base in
+  more.Stats.gld_bytes <- 4.0e6;
+  let t2 =
+    Timing.estimate cfg280 ~per_block:more ~launch ~regs_per_thread:16
+      ~shared_per_block:1024 ~partition_eff:1.0 ~mlp:2.0
+  in
+  Alcotest.(check bool) "more bytes, more time" true (t2.time_ms >= t1.time_ms)
+
+let test_timing_camping_penalty () =
+  let launch = launch1 ~gx:64 ~bx:256 () in
+  let s = Stats.create () in
+  s.Stats.warp_insts <- 100.0;
+  s.Stats.flops <- 1000.0;
+  s.Stats.gld_bytes <- 1.0e6;
+  s.Stats.gld_requests <- 100.0;
+  let good =
+    Timing.estimate cfg280 ~per_block:s ~launch ~regs_per_thread:16
+      ~shared_per_block:0 ~partition_eff:1.0 ~mlp:2.0
+  in
+  let bad =
+    Timing.estimate cfg280 ~per_block:s ~launch ~regs_per_thread:16
+      ~shared_per_block:0 ~partition_eff:0.125 ~mlp:2.0
+  in
+  Alcotest.(check bool) "camping is slower" true (bad.time_ms > good.time_ms *. 4.0)
+
+let test_partition_efficiency_calc () =
+  let same = [ [| 0; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 0; 0 |] ] in
+  let spread = [ [| 0; 1 |]; [| 2; 3 |]; [| 4; 5 |]; [| 6; 7 |] ] in
+  Alcotest.(check (float 0.01)) "camped" 0.125
+    (Gpcc_sim.Launch.partition_efficiency cfg280 same);
+  Alcotest.(check (float 0.01)) "spread" 1.0
+    (Gpcc_sim.Launch.partition_efficiency cfg280 spread)
+
+let suite =
+  let t n f = Alcotest.test_case n `Quick f in
+  ( "sim",
+    [
+      t "devmem round trip" test_devmem_roundtrip;
+      t "devmem base alignment" test_devmem_bases_aligned;
+      t "devmem size mismatch" test_devmem_size_mismatch;
+      t "strict: coalesced" test_strict_coalesced;
+      t "strict: misaligned serializes" test_strict_misaligned_serializes;
+      t "strict: permuted serializes" test_strict_permuted_serializes;
+      t "relaxed: misaligned" test_relaxed_misaligned;
+      t "relaxed: uniform" test_relaxed_uniform;
+      t "relaxed: strided" test_relaxed_strided;
+      t "float2 coalescing" test_float2_coalesced;
+      t "partial half warp" test_partial_halfwarp;
+      t "banks: conflict-free" test_banks_conflict_free;
+      t "banks: conflicts" test_banks_conflicts;
+      t "banks: broadcast" test_banks_broadcast;
+      t "interp: arithmetic" test_interp_arith;
+      t "interp: int ops" test_interp_int_ops;
+      t "interp: divergence" test_interp_divergence;
+      t "interp: thread-dependent loops" test_interp_loop_thread_dependent;
+      t "interp: shared memory" test_interp_shared_memory;
+      t "interp: vector load" test_interp_vload;
+      t "interp: vector arithmetic" test_interp_vector_ops;
+      t "interp: multi-block grid" test_interp_multi_block_grid;
+      t "interp: global sync" test_interp_global_sync;
+      t "interp: out of bounds" test_interp_oob;
+      t "interp: flop counting" test_interp_flop_count;
+      t "occupancy limits" test_occupancy_limits;
+      t "occupancy: 8800 vs 280" test_occupancy_8800_smaller;
+      t "timing: bytes monotone" test_timing_monotone_in_bytes;
+      t "timing: camping penalty" test_timing_camping_penalty;
+      t "partition efficiency" test_partition_efficiency_calc;
+    ] )

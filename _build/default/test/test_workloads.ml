@@ -1,0 +1,110 @@
+(** Workload-level tests: naive kernels match their CPU references, the
+    Table-1 registry is complete, input generation is deterministic, and
+    the CUBLAS/SDK comparator kernels compute correct results. *)
+
+open Util
+
+let test_registry_complete () =
+  let names = List.map (fun w -> w.Gpcc_workloads.Workload.name)
+      Gpcc_workloads.Registry.all
+  in
+  (* the paper's Table 1 order *)
+  Alcotest.(check (list string)) "Table 1"
+    [ "tmv"; "mm"; "mv"; "vv"; "rd"; "strsm"; "conv"; "tp"; "demosaic"; "imregionmax" ]
+    names
+
+let test_gen_deterministic () =
+  let a = Gpcc_workloads.Workload.gen ~seed:3 100 in
+  let b = Gpcc_workloads.Workload.gen ~seed:3 100 in
+  let c = Gpcc_workloads.Workload.gen ~seed:4 100 in
+  Alcotest.(check bool) "same seed same data" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in [-1,1)" true (v >= -1.0 && v < 1.0))
+    a
+
+let test_naive_kernels_correct () =
+  List.iter
+    (fun (w : Gpcc_workloads.Workload.t) ->
+      let n = w.test_size in
+      let k = Gpcc_workloads.Workload.parse w n in
+      let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+      match Gpcc_workloads.Workload.check cfg280 w n k launch with
+      | () -> ()
+      | exception Gpcc_workloads.Workload.Check_failed m ->
+          Alcotest.failf "%s naive: %s" w.name m)
+    (Gpcc_workloads.Registry.all @ Gpcc_workloads.Registry.extras)
+
+let test_naive_loc_plausible () =
+  (* Table 1 lists naive-kernel LOC around 3..27; ours should be in the
+     same ballpark (kernel signature + body, no pragmas) *)
+  List.iter
+    (fun (w : Gpcc_workloads.Workload.t) ->
+      let loc = Gpcc_workloads.Workload.naive_loc w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s loc=%d" w.name loc)
+        true
+        (loc >= 3 && loc <= 30))
+    Gpcc_workloads.Registry.all
+
+let test_cublas_comparators_correct () =
+  List.iter
+    (fun (c : Gpcc_workloads.Cublas_sim.comparator) ->
+      let w = Gpcc_workloads.Registry.find_exn c.c_for in
+      let n = max w.test_size 128 in
+      let k = Gpcc_workloads.Cublas_sim.kernel c n in
+      match Gpcc_workloads.Workload.check cfg280 w n k (c.c_launch n) with
+      | () -> ()
+      | exception Gpcc_workloads.Workload.Check_failed m ->
+          Alcotest.failf "cublas-%s: %s" c.c_for m)
+    Gpcc_workloads.Cublas_sim.all
+
+let test_cublas_covers_figure13 () =
+  let covered =
+    List.map (fun c -> c.Gpcc_workloads.Cublas_sim.c_for)
+      Gpcc_workloads.Cublas_sim.all
+  in
+  List.iter
+    (fun (w : Gpcc_workloads.Workload.t) ->
+      Alcotest.(check bool)
+        (w.name ^ " comparator present iff in_cublas") w.in_cublas
+        (List.mem w.name covered))
+    Gpcc_workloads.Registry.all
+
+let test_sdk_transpose_correct () =
+  let w = Gpcc_workloads.Registry.find_exn "tp" in
+  let n = w.test_size in
+  let kp, lp = Gpcc_workloads.Sdk_transpose.prev n in
+  Gpcc_workloads.Workload.check cfg280 w n kp lp;
+  let kn, ln = Gpcc_workloads.Sdk_transpose.new_ n in
+  Gpcc_workloads.Workload.check cfg280 w n kn ln
+
+let test_rd_uses_global_sync () =
+  let w = Gpcc_workloads.Registry.find_exn "rd" in
+  let k = Gpcc_workloads.Workload.parse w w.test_size in
+  Alcotest.(check bool) "grid barrier present" true
+    (List.mem Gpcc_ast.Ast.Global_sync k.k_body)
+
+let test_flops_positive () =
+  List.iter
+    (fun (w : Gpcc_workloads.Workload.t) ->
+      if w.name <> "tp" then
+        Alcotest.(check bool) (w.name ^ " flops") true (w.flops 128 > 0.0);
+      Alcotest.(check bool) (w.name ^ " bytes") true (w.moved_bytes 128 > 0.0))
+    Gpcc_workloads.Registry.all
+
+let suite =
+  let q n f = Alcotest.test_case n `Quick f in
+  let s n f = Alcotest.test_case n `Slow f in
+  ( "workloads",
+    [
+      q "registry matches Table 1" test_registry_complete;
+      q "deterministic inputs" test_gen_deterministic;
+      s "naive kernels correct" test_naive_kernels_correct;
+      q "naive LOC plausible" test_naive_loc_plausible;
+      s "cublas comparators correct" test_cublas_comparators_correct;
+      q "figure-13 coverage" test_cublas_covers_figure13;
+      s "sdk transpose correct" test_sdk_transpose_correct;
+      q "rd uses the grid barrier" test_rd_uses_global_sync;
+      q "operation counts" test_flops_positive;
+    ] )
