@@ -6,6 +6,17 @@
       dune exec bench/main.exe                 (all sections)
       dune exec bench/main.exe -- fig11 fig13  (selected sections)
       GPCC_FAST=1 dune exec bench/main.exe     (reduced sizes)
+      dune exec bench/main.exe -- --jobs=4 fig11   (search parallelism;
+                                                    GPCC_JOBS=N also works)
+
+    Design-space searches fan out across a pool of worker domains and
+    persist measured scores in the on-disk exploration cache (default
+    [_gpcc_cache/], override with GPCC_CACHE_DIR), so repeated runs skip
+    already-measured points. Each section additionally writes a
+    machine-readable [BENCH_<section>.json] next to the working
+    directory: per-workload numbers, the empirically chosen
+    configurations, cache hit/miss counts and wall-clock — see the
+    README for the schema.
 
     Absolute numbers come from the machine model; the claims reproduced
     are the paper's *shapes*: who wins, by roughly what factor, and where
@@ -16,11 +27,23 @@ open Gpcc_workloads
 let fast = Sys.getenv_opt "GPCC_FAST" <> None
 let gtx280 = Gpcc_sim.Config.gtx280
 let gtx8800 = Gpcc_sim.Config.gtx8800
+let jobs = ref (Gpcc_core.Pool.default_jobs ())
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "  (%s)\n" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: one BENCH_<section>.json per section      *)
+(* ------------------------------------------------------------------ *)
+
+module Record = struct
+  let rows : Json_out.t list ref = ref []
+  let add fields = rows := Json_out.Obj fields :: !rows
+  let reset () = rows := []
+  let take () = List.rev !rows
+end
 
 (* ------------------------------------------------------------------ *)
 (* Configuration selection: the paper's empirical search (Section 4)   *)
@@ -32,55 +55,57 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "  (%s)\n" s) fmt
 let probe_size (w : Workload.t) n =
   if w.flops n < 5e7 then n else min n (if fast then 256 else 512)
 
-let config_cache : (string, int * int) Hashtbl.t = Hashtbl.create 32
+(* measured scores persist across runs in the on-disk cache; the chosen
+   configs are additionally memoized per process to skip re-deriving *)
+let explore_cache = lazy (Gpcc_core.Explore_cache.open_dir ())
+let chosen_configs : (string, int * int) Hashtbl.t = Hashtbl.create 32
 
 (** Best (threads-per-block, merge-degree) for a workload on a GPU, found
     by compiling every Section-4 configuration and test-running each on
-    the simulator at a probe size — the paper's empirical search. *)
+    the simulator at a probe size — the paper's empirical search, fanned
+    out across the domain pool, with measured scores served from the
+    persistent exploration cache when available. *)
 let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
     int * int =
   let pn = probe_size w n in
   let key = Printf.sprintf "%s/%s/%d" cfg.name w.name pn in
-  match Hashtbl.find_opt config_cache key with
+  match Hashtbl.find_opt chosen_configs key with
   | Some c -> c
   | None ->
       let k = Workload.parse w pn in
-      let seen = ref [] in
-      let best = ref (256, 16) and best_score = ref neg_infinity in
-      List.iter
-        (fun target ->
-          List.iter
-            (fun degree ->
-              let opts =
-                {
-                  (Gpcc_core.Compiler.default_options ~cfg ()) with
-                  target_block_threads = target;
-                  merge_degree = degree;
-                }
-              in
-              match Gpcc_core.Compiler.run ~opts k with
-              | r ->
-                  let text =
-                    Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel
-                  in
-                  if not (List.mem text !seen) then begin
-                    seen := text :: !seen;
-                    match
-                      Workload.measure ~sample:1 ~streams:3 cfg w pn r.kernel
-                        r.launch
-                    with
-                    | t ->
-                        if t.gflops > !best_score then begin
-                          best_score := t.gflops;
-                          best := (target, degree)
-                        end
-                    | exception _ -> ()
-                  end
-              | exception _ -> ())
-            [ 1; 4; 8; 16; 32 ])
-        [ 16; 32; 64; 128; 256; 512 ];
-      Hashtbl.replace config_cache key !best;
-      !best
+      let measure = Workload.measure_gflops ~sample:1 ~streams:3 cfg w pn in
+      let cands, failures =
+        Gpcc_core.Explore.search_with_failures ~cfg ~jobs:!jobs
+          ~cache:(Lazy.force explore_cache)
+          ~cache_prefix:("bench/sample1/streams3/" ^ key)
+          k ~measure
+      in
+      let chosen =
+        match Gpcc_core.Explore.best cands with
+        | Some b when b.score > Float.neg_infinity ->
+            (b.target_block_threads, b.merge_degree)
+        | _ ->
+            (* every candidate failed to compile or measure: make the
+               fallback loud instead of silently pretending (256,16) was
+               empirically selected *)
+            Logs.warn (fun m ->
+                m
+                  "design-space search for %s: no runnable candidate (%d \
+                   candidates, %d failures); falling back to (256,16)"
+                  key (List.length cands) (List.length failures));
+            List.iter
+              (fun (f : Gpcc_core.Explore.failure) ->
+                Logs.debug (fun m ->
+                    m "  t=%d d=%d %s: %s" f.failed_target f.failed_degree
+                      (match f.failed_stage with
+                      | `Compile -> "compile"
+                      | `Measure -> "measure")
+                      f.reason))
+              failures;
+            (256, 16)
+      in
+      Hashtbl.replace chosen_configs key chosen;
+      chosen
 
 (** Compile a workload at size [n] with the empirically chosen knobs. *)
 let compile_best (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
@@ -196,8 +221,34 @@ let fig11 () =
           let topt = measure_opt cfg w n in
           let s = tn.time_ms /. Float.max 1e-9 topt.time_ms in
           acc := s :: !acc;
+          let target, degree = best_config cfg w n in
+          Record.add
+            [
+              ("workload", Json_out.Str w.name);
+              ("gpu", Json_out.Str cfg.Gpcc_sim.Config.name);
+              ("size", Json_out.Int n);
+              ( "metric",
+                Json_out.Str (if w.flops n > 0.0 then "gflops" else "gbps") );
+              ("naive", Json_out.Float (metric tn));
+              ("optimized", Json_out.Float (metric topt));
+              ("speedup", Json_out.Float s);
+              ( "config",
+                Json_out.Obj
+                  [
+                    ("threads_per_block", Json_out.Int target);
+                    ("merge_degree", Json_out.Int degree);
+                  ] );
+            ];
           Printf.sprintf "%10.2f %10.2f %7.1fx" (metric tn) (metric topt) s
-        with e -> Printf.sprintf "error: %s" (Printexc.to_string e)
+        with e ->
+          Record.add
+            [
+              ("workload", Json_out.Str w.name);
+              ("gpu", Json_out.Str cfg.Gpcc_sim.Config.name);
+              ("size", Json_out.Int n);
+              ("error", Json_out.Str (Printexc.to_string e));
+            ];
+          Printf.sprintf "error: %s" (Printexc.to_string e)
       in
       let r8800 = row gtx8800 speedups8800 in
       let r280 = row gtx280 speedups280 in
@@ -278,6 +329,16 @@ let fig13 () =
               let tc = Workload.measure gtx280 w n kc (c.c_launch n) in
               let ratio = topt.gflops /. Float.max 1e-9 tc.gflops in
               ratios := ratio :: !ratios;
+              Record.add
+                [
+                  ("workload", Json_out.Str w.name);
+                  ("gpu", Json_out.Str gtx280.Gpcc_sim.Config.name);
+                  ("size", Json_out.Int n);
+                  ("metric", Json_out.Str "gflops");
+                  ("optimized", Json_out.Float topt.gflops);
+                  ("cublas", Json_out.Float tc.gflops);
+                  ("ratio", Json_out.Float ratio);
+                ];
               Printf.printf "  %-8s n=%-8d ours %8.2f | cublas %8.2f | ratio %5.2fx\n%!"
                 w.name n topt.gflops tc.gflops ratio
             with e ->
@@ -315,6 +376,17 @@ let fig14 () =
         in
         let tv = Workload.measure gtx280 w n with_vec.kernel with_vec.launch in
         let tw = Workload.measure gtx280 w n without.kernel without.launch in
+        Record.add
+          [
+            ("workload", Json_out.Str w.name);
+            ("gpu", Json_out.Str gtx280.Gpcc_sim.Config.name);
+            ("size", Json_out.Int n);
+            ("metric", Json_out.Str "gflops");
+            ("optimized", Json_out.Float tv.gflops);
+            ("optimized_wo_vectorize", Json_out.Float tw.gflops);
+            ( "vectorization_gain",
+              Json_out.Float (tv.gflops /. Float.max 1e-9 tw.gflops) );
+          ];
         Printf.printf
           "  n=%-8d optimized %8.2f GFLOPS | optimized_wo_vec %8.2f GFLOPS | vectorization gain %.2fx\n%!"
           n tv.gflops tw.gflops (tv.gflops /. Float.max 1e-9 tw.gflops)
@@ -342,6 +414,17 @@ let fig15 () =
         let kn, ln = Sdk_transpose.new_ n in
         let tnew = Workload.measure gtx280 w n kn ln in
         let to_ = measure_opt gtx280 w n in
+        Record.add
+          [
+            ("workload", Json_out.Str w.name);
+            ("gpu", Json_out.Str gtx280.Gpcc_sim.Config.name);
+            ("size", Json_out.Int n);
+            ("metric", Json_out.Str "gbps");
+            ("naive", Json_out.Float (bw tn));
+            ("sdk_prev", Json_out.Float (bw tp_));
+            ("sdk_new", Json_out.Float (bw tnew));
+            ("optimized", Json_out.Float (bw to_));
+          ];
         Printf.printf "  %8d %10.1f %10.1f %10.1f %10.1f\n%!" n (bw tn)
           (bw tp_) (bw tnew) (bw to_)
       with e -> Printf.printf "  %8d error: %s\n%!" n (Printexc.to_string e))
@@ -382,6 +465,17 @@ let fig16 () =
         let tc =
           Workload.measure gtx280 w n (Cublas_sim.kernel c n) (c.c_launch n)
         in
+        Record.add
+          [
+            ("workload", Json_out.Str w.name);
+            ("gpu", Json_out.Str gtx280.Gpcc_sim.Config.name);
+            ("size", Json_out.Int n);
+            ("metric", Json_out.Str "gflops");
+            ("naive", Json_out.Float tn.gflops);
+            ("optimized_no_camping_elim", Json_out.Float tnopc.gflops);
+            ("optimized", Json_out.Float tfull.gflops);
+            ("cublas", Json_out.Float tc.gflops);
+          ];
         Printf.printf "  %8d %10.2f %12.2f %10.2f %10.2f\n%!" n tn.gflops
           tnopc.gflops tfull.gflops tc.gflops
       with e -> Printf.printf "  %8d error: %s\n%!" n (Printexc.to_string e))
@@ -459,6 +553,23 @@ let fig17_fft () =
         let tn = measure_naive gtx280 w n in
         let topt = measure_opt gtx280 w n in
         let target, degree = best_config gtx280 w n in
+        Record.add
+          [
+            ("workload", Json_out.Str w.name);
+            ("gpu", Json_out.Str gtx280.Gpcc_sim.Config.name);
+            ("size", Json_out.Int n);
+            ("metric", Json_out.Str "gflops");
+            ("naive", Json_out.Float tn.gflops);
+            ("optimized", Json_out.Float topt.gflops);
+            ( "speedup",
+              Json_out.Float (tn.time_ms /. Float.max 1e-9 topt.time_ms) );
+            ( "config",
+              Json_out.Obj
+                [
+                  ("threads_per_block", Json_out.Int target);
+                  ("merge_degree", Json_out.Int degree);
+                ] );
+          ];
         Printf.printf
           "  n=%-7d naive 2-point %7.2f GFLOPS | optimized (vectorized, %d-way merge, %d-thread blocks) %7.2f GFLOPS | gain %.2fx\n%!"
           n tn.gflops degree target topt.gflops
@@ -647,24 +758,83 @@ let sections =
     ("amd_vectors", amd_vectors); ("bechamel", bechamel);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+(** Write BENCH_<section>.json: rows recorded by the section, the wall
+    clock, the worker-pool size and the exploration-cache traffic (hit
+    and miss deltas over this section). *)
+let emit_json ~name ~wall_s ~hits ~misses ~rows =
+  let cache_fields =
+    if Lazy.is_val explore_cache then
+      let c = Lazy.force explore_cache in
+      [
+        ("dir", Json_out.Str (Gpcc_core.Explore_cache.dir c));
+        ("hits", Json_out.Int hits);
+        ("misses", Json_out.Int misses);
+        ("entries", Json_out.Int (Gpcc_core.Explore_cache.entries c));
+      ]
+    else [ ("hits", Json_out.Int 0); ("misses", Json_out.Int 0) ]
   in
-  Printf.printf "gpcc benchmark harness (%s mode)\n"
-    (if fast then "fast" else "full");
+  Json_out.to_file
+    (Printf.sprintf "BENCH_%s.json" name)
+    (Json_out.Obj
+       [
+         ("schema", Json_out.Str "gpcc-bench-v1");
+         ("section", Json_out.Str name);
+         ("mode", Json_out.Str (if fast then "fast" else "full"));
+         ("jobs", Json_out.Int !jobs);
+         ("wall_clock_s", Json_out.Float wall_s);
+         ("cache", Json_out.Obj cache_fields);
+         ("workloads", Json_out.List rows);
+       ])
+
+let cache_traffic () =
+  if Lazy.is_val explore_cache then
+    let c = Lazy.force explore_cache in
+    (Gpcc_core.Explore_cache.hits c, Gpcc_core.Explore_cache.misses c)
+  else (0, 0)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  if Logs.level () = None then Logs.set_level (Some Logs.Warning);
+  let args = List.tl (Array.to_list Sys.argv) in
+  let requested =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--jobs" -> (
+            (match
+               int_of_string_opt
+                 (String.sub a (i + 1) (String.length a - i - 1))
+             with
+            | Some n when n >= 1 -> jobs := n
+            | _ -> Printf.eprintf "ignoring bad %s (want --jobs=N)\n" a);
+            false)
+        | _ -> true)
+      args
+  in
+  let requested =
+    match requested with [] -> List.map fst sections | names -> names
+  in
+  Printf.printf "gpcc benchmark harness (%s mode, %d search jobs)\n"
+    (if fast then "fast" else "full")
+    !jobs;
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
       | Some f -> (
+          Record.reset ();
+          let hits0, misses0 = cache_traffic () in
           let t0 = Unix.gettimeofday () in
+          let finish () =
+            let wall_s = Unix.gettimeofday () -. t0 in
+            let hits1, misses1 = cache_traffic () in
+            emit_json ~name ~wall_s ~hits:(hits1 - hits0)
+              ~misses:(misses1 - misses0) ~rows:(Record.take ());
+            wall_s
+          in
           match f () with
-          | () ->
-              Printf.printf "  [section %s: %.1fs]\n%!" name
-                (Unix.gettimeofday () -. t0)
+          | () -> Printf.printf "  [section %s: %.1fs]\n%!" name (finish ())
           | exception e ->
+              ignore (finish ());
               Printf.printf "  section %s failed: %s\n%!" name
                 (Printexc.to_string e))
       | None -> Printf.printf "unknown section %s\n" name)

@@ -40,6 +40,15 @@ let gpu_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Kernel source file.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Gpcc_core.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the design-space sweep (defaults to \
+           \\$(b,GPCC_JOBS) or the recommended domain count).")
+
 let handle_errors f =
   try f () with
   | Gpcc_ast.Lexer.Error (m, line) ->
@@ -108,7 +117,7 @@ let check_cmd =
 (* --- explore --- *)
 
 let explore_cmd =
-  let run cfg file =
+  let run cfg jobs file =
     handle_errors (fun () ->
         let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
         (* score by static occupancy x inverse instruction estimate when no
@@ -124,7 +133,8 @@ let explore_cmd =
           float_of_int occ.active_warps
         in
         let cands =
-          Gpcc_core.Explore.search ~cfg k ~measure |> Gpcc_core.Explore.distinct
+          Gpcc_core.Explore.search ~cfg ~jobs k ~measure
+          |> Gpcc_core.Explore.distinct
         in
         Printf.printf "%-8s %-8s %-10s %-8s\n" "threads" "merge" "score" "launch";
         List.iter
@@ -137,7 +147,7 @@ let explore_cmd =
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Enumerate the design space of merge configurations")
-    Term.(const run $ gpu_arg $ file_arg)
+    Term.(const run $ gpu_arg $ jobs_arg $ file_arg)
 
 (* --- bench --- *)
 

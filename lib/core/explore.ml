@@ -8,7 +8,16 @@
     the paper: on the GPU).
 
     Candidate configurations follow Section 4.1: 128, 256 or 512 threads
-    per block, and thread-merge degrees 4, 8, 16 or 32. *)
+    per block, and thread-merge degrees 4, 8, 16 or 32.
+
+    The sweep runs in two parallel phases on a {!Pool} of worker
+    domains: first every configuration is compiled, then kernels that
+    compiled identically (different knobs often coincide) are grouped by
+    a digest of their printed text and each distinct version is measured
+    once — consulting the optional {!Explore_cache} first — and the
+    score is shared across the group. Per-candidate failures are
+    isolated: a raising compile or measurement is recorded, never
+    aborting the sweep. *)
 
 open Gpcc_ast
 
@@ -19,38 +28,139 @@ type candidate = {
   score : float;  (** measured GFLOPS (higher is better) *)
 }
 
+type failure = {
+  failed_target : int;
+  failed_degree : int;
+  failed_stage : [ `Compile | `Measure ];
+  reason : string;
+}
+
 let default_block_targets = [ 16; 32; 64; 128; 256; 512 ]
 let default_merge_degrees = [ 1; 4; 8; 16; 32 ]
 
-(** Compile every configuration and score it with [measure] (which
-    typically runs the kernel on the simulator with the intended input
-    sizes). Configurations that fail to compile are dropped. *)
-let search ?(cfg = Gpcc_sim.Config.gtx280)
+(* phase-1 outcome for one (target, degree) configuration *)
+type compiled = {
+  c_target : int;
+  c_degree : int;
+  c_result : Compiler.result;
+  c_digest : string;  (** of the printed kernel + launch *)
+}
+
+let search_with_failures ?(cfg = Gpcc_sim.Config.gtx280)
     ?(block_targets = default_block_targets)
-    ?(merge_degrees = default_merge_degrees) (naive : Ast.kernel)
-    ~(measure : Ast.kernel -> Ast.launch -> float) : candidate list =
-  List.concat_map
-    (fun target_block_threads ->
-      List.filter_map
-        (fun merge_degree ->
-          let opts =
+    ?(merge_degrees = default_merge_degrees) ?jobs ?cache
+    ?(cache_prefix = "") (naive : Ast.kernel)
+    ~(measure : Ast.kernel -> Ast.launch -> float) :
+    candidate list * failure list =
+  let configs =
+    List.concat_map
+      (fun target -> List.map (fun degree -> (target, degree)) merge_degrees)
+      block_targets
+  in
+  Pool.with_pool ?jobs (fun pool ->
+      (* phase 1: compile every configuration *)
+      let compile (target, degree) =
+        let opts =
+          {
+            (Compiler.default_options ~cfg ()) with
+            target_block_threads = target;
+            merge_degree = degree;
+          }
+        in
+        let result = Compiler.run ~opts naive in
+        {
+          c_target = target;
+          c_degree = degree;
+          c_result = result;
+          c_digest =
+            Digest.to_hex
+              (Digest.string
+                 (Pp.kernel_to_string ~launch:result.launch result.kernel));
+        }
+      in
+      let compile_outcomes =
+        List.combine configs (Pool.map_result pool compile configs)
+      in
+      let compiled, compile_failures =
+        List.fold_left
+          (fun (cs, fs) ((target, degree), outcome) ->
+            match outcome with
+            | Ok c -> (c :: cs, fs)
+            | Error e ->
+                ( cs,
+                  {
+                    failed_target = target;
+                    failed_degree = degree;
+                    failed_stage = `Compile;
+                    reason = Printexc.to_string e;
+                  }
+                  :: fs ))
+          ([], []) compile_outcomes
+      in
+      let compiled = List.rev compiled in
+      let compile_failures = List.rev compile_failures in
+      (* group identical kernel versions: measure each digest once *)
+      let rep_tbl = Hashtbl.create 16 in
+      let reps =
+        List.filter
+          (fun c ->
+            if Hashtbl.mem rep_tbl c.c_digest then false
+            else begin
+              Hashtbl.add rep_tbl c.c_digest ();
+              true
+            end)
+          compiled
+      in
+      (* phase 2: score each distinct version, cache first *)
+      let score_rep (c : compiled) : float * [ `Cached | `Measured ] =
+        let key = cache_prefix ^ "|" ^ c.c_digest in
+        match Option.bind cache (fun cch -> Explore_cache.find cch key) with
+        | Some s -> (s, `Cached)
+        | None ->
+            let s = measure c.c_result.kernel c.c_result.launch in
+            Option.iter (fun cch -> Explore_cache.store cch key s) cache;
+            (s, `Measured)
+      in
+      let scored = Pool.map_result pool score_rep reps in
+      let score_tbl = Hashtbl.create 16 in
+      let measure_failures =
+        List.concat
+          (List.map2
+             (fun rep outcome ->
+               match outcome with
+               | Ok (s, _src) ->
+                   Hashtbl.replace score_tbl rep.c_digest s;
+                   []
+               | Error e ->
+                   Hashtbl.replace score_tbl rep.c_digest Float.neg_infinity;
+                   [
+                     {
+                       failed_target = rep.c_target;
+                       failed_degree = rep.c_degree;
+                       failed_stage = `Measure;
+                       reason = Printexc.to_string e;
+                     };
+                   ])
+             reps scored)
+      in
+      let candidates =
+        List.map
+          (fun c ->
             {
-              (Compiler.default_options ~cfg ()) with
-              target_block_threads;
-              merge_degree;
-            }
-          in
-          match Compiler.run ~opts naive with
-          | result ->
-              let score =
-                match measure result.kernel result.launch with
-                | s -> s
-                | exception _ -> Float.neg_infinity
-              in
-              Some { target_block_threads; merge_degree; result; score }
-          | exception _ -> None)
-        merge_degrees)
-    block_targets
+              target_block_threads = c.c_target;
+              merge_degree = c.c_degree;
+              result = c.c_result;
+              score = Hashtbl.find score_tbl c.c_digest;
+            })
+          compiled
+      in
+      (candidates, compile_failures @ measure_failures))
+
+let search ?cfg ?block_targets ?merge_degrees ?jobs ?cache ?cache_prefix
+    naive ~measure : candidate list =
+  fst
+    (search_with_failures ?cfg ?block_targets ?merge_degrees ?jobs ?cache
+       ?cache_prefix naive ~measure)
 
 (** Deduplicate candidates that compiled to the same kernel (different
     knobs can coincide), keeping the first. *)
@@ -76,6 +186,8 @@ let best (cands : candidate list) : candidate option =
 
 (** One-call empirical search, as the paper's compiler does before
     emitting the final version. *)
-let pick ?cfg ?block_targets ?merge_degrees naive ~measure :
-    candidate option =
-  best (search ?cfg ?block_targets ?merge_degrees naive ~measure)
+let pick ?cfg ?block_targets ?merge_degrees ?jobs ?cache ?cache_prefix naive
+    ~measure : candidate option =
+  best
+    (search ?cfg ?block_targets ?merge_degrees ?jobs ?cache ?cache_prefix
+       naive ~measure)

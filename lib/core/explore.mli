@@ -1,7 +1,14 @@
 (** Design-space exploration (paper Section 4): generate one kernel
     version per (threads-per-block, thread-merge-degree) configuration and
     select the best by empirically running each — on the simulator here,
-    on the GPU in the paper. *)
+    on the GPU in the paper.
+
+    The sweep is embarrassingly parallel, so candidates are fanned out
+    across a {!Pool} of worker domains, and measured scores can be
+    persisted in an {!Explore_cache} so repeated searches skip
+    already-measured points. The outcome is deterministic: for a fixed
+    candidate grid the chosen best is byte-identical whatever [jobs] is
+    and whether scores came from the cache or fresh measurement. *)
 
 type candidate = {
   target_block_threads : int;
@@ -10,15 +17,47 @@ type candidate = {
   score : float;  (** measured GFLOPS (higher is better) *)
 }
 
+type failure = {
+  failed_target : int;  (** requested threads per block *)
+  failed_degree : int;  (** requested thread-merge degree *)
+  failed_stage : [ `Compile | `Measure ];
+  reason : string;  (** printed exception *)
+}
+
 val default_block_targets : int list
 val default_merge_degrees : int list
 
-(** Compile every configuration and score it with [measure]; failing
-    configurations are dropped, failing measurements score [-inf]. *)
+(** Compile every configuration (in parallel on [jobs] domains, default
+    {!Pool.default_jobs}) and score it with [measure]. Candidates whose
+    kernels coincide are measured once and share the score. A candidate
+    that raises is isolated, never aborting the sweep: compile failures
+    are dropped from the candidate list, measure failures score
+    [Float.neg_infinity]; both are reported in the [failure] list.
+
+    When [cache] is given, measured scores are looked up / persisted
+    under [cache_prefix] plus a digest of the compiled kernel text, so
+    any compiler change that alters generated code invalidates the entry
+    implicitly. [cache_prefix] must identify everything else the score
+    depends on (machine, workload, problem size). *)
+val search_with_failures :
+  ?cfg:Gpcc_sim.Config.t ->
+  ?block_targets:int list ->
+  ?merge_degrees:int list ->
+  ?jobs:int ->
+  ?cache:Explore_cache.t ->
+  ?cache_prefix:string ->
+  Gpcc_ast.Ast.kernel ->
+  measure:(Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float) ->
+  candidate list * failure list
+
+(** [search_with_failures] without the failure report. *)
 val search :
   ?cfg:Gpcc_sim.Config.t ->
   ?block_targets:int list ->
   ?merge_degrees:int list ->
+  ?jobs:int ->
+  ?cache:Explore_cache.t ->
+  ?cache_prefix:string ->
   Gpcc_ast.Ast.kernel ->
   measure:(Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float) ->
   candidate list
@@ -28,12 +67,17 @@ val search :
 val distinct : candidate list -> candidate list
 
 val best : candidate list -> candidate option
+(** Highest score; earliest in list order on ties (which makes the
+    winner independent of [jobs]). *)
 
 (** [search] followed by [best]. *)
 val pick :
   ?cfg:Gpcc_sim.Config.t ->
   ?block_targets:int list ->
   ?merge_degrees:int list ->
+  ?jobs:int ->
+  ?cache:Explore_cache.t ->
+  ?cache_prefix:string ->
   Gpcc_ast.Ast.kernel ->
   measure:(Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float) ->
   candidate option

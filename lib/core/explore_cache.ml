@@ -1,0 +1,126 @@
+(** Persistent on-disk exploration-score cache. See the mli for the
+    layout and concurrency story. *)
+
+type t = {
+  root : string;
+  memo : (string, float) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable tmp_seq : int;
+}
+
+(* bump when the entry format changes: old files stop resolving *)
+let format_version = "gpcc-cache-v1"
+
+let default_dir () =
+  match Sys.getenv_opt "GPCC_CACHE_DIR" with
+  | Some d when String.trim d <> "" -> d
+  | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let open_dir ?dir () : t =
+  let root = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p root;
+  {
+    root;
+    memo = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    hit_count = 0;
+    miss_count = 0;
+    tmp_seq = 0;
+  }
+
+let dir (c : t) = c.root
+
+let path_of_key (c : t) (key : string) : string =
+  Filename.concat c.root
+    (Digest.to_hex (Digest.string (format_version ^ "\n" ^ key)) ^ ".score")
+
+(* entry file: line 1 the full key, line 2 the score in %h (lossless) *)
+let read_entry (path : string) (key : string) : float option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            let stored_key = input_line ic in
+            let score_line = input_line ic in
+            (stored_key, score_line)
+          with
+          | stored_key, score_line when String.equal stored_key key ->
+              float_of_string_opt (String.trim score_line)
+          | _ -> None
+          | exception End_of_file -> None)
+
+let locked (c : t) (f : unit -> 'a) : 'a =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let find (c : t) (key : string) : float option =
+  locked c (fun () ->
+      let result =
+        match Hashtbl.find_opt c.memo key with
+        | Some _ as s -> s
+        | None -> (
+            match read_entry (path_of_key c key) key with
+            | Some s ->
+                Hashtbl.replace c.memo key s;
+                Some s
+            | None -> None)
+      in
+      (match result with
+      | Some _ -> c.hit_count <- c.hit_count + 1
+      | None -> c.miss_count <- c.miss_count + 1);
+      result)
+
+let store (c : t) (key : string) (score : float) : unit =
+  let path = path_of_key c key in
+  let tmp =
+    locked c (fun () ->
+        Hashtbl.replace c.memo key score;
+        c.tmp_seq <- c.tmp_seq + 1;
+        Printf.sprintf "%s.tmp.%d.%d" path
+          (Domain.self () :> int)
+          c.tmp_seq)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc key;
+     output_char oc '\n';
+     output_string oc (Printf.sprintf "%h\n" score);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with Sys_error _ -> ( (* racing writer won; our value is equivalent *)
+    try Sys.remove tmp with Sys_error _ -> ())
+
+let hits (c : t) : int = locked c (fun () -> c.hit_count)
+let misses (c : t) : int = locked c (fun () -> c.miss_count)
+
+let entry_files (c : t) : string list =
+  match Sys.readdir c.root with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".score")
+      |> List.map (Filename.concat c.root)
+
+let entries (c : t) : int = List.length (entry_files c)
+
+let clear (c : t) : unit =
+  locked c (fun () -> Hashtbl.reset c.memo);
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    (entry_files c)

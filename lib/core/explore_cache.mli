@@ -1,0 +1,50 @@
+(** Persistent on-disk cache of design-space exploration scores.
+
+    The Section-4 empirical search measures every candidate kernel on
+    the simulator; the measurement is deterministic for a fixed
+    (machine, workload, problem size, kernel), so repeated bench runs
+    can skip already-measured points entirely. Each entry maps a key —
+    by convention [gpu/workload/size/...] plus a digest of the compiled
+    kernel text, see {!Explore.search} — to the measured score (GFLOPS).
+
+    Layout: one file per entry under the cache directory, named by the
+    MD5 of the key; the file stores the full key (guarding against
+    digest collisions) and the score. Writes go through a temp file and
+    an atomic [rename], so concurrent writers (pool workers, or two
+    bench processes) never expose a torn entry. Entries are invalidated
+    implicitly: keys embed the compiled kernel digest, so any compiler
+    change that alters generated code changes the key. Stale files are
+    only reclaimed by {!clear} (or deleting the directory). *)
+
+type t
+
+val default_dir : unit -> string
+(** [GPCC_CACHE_DIR] if set, else ["_gpcc_cache"] in the current
+    working directory. *)
+
+val open_dir : ?dir:string -> unit -> t
+(** Open (creating if needed) the cache rooted at [dir] (default
+    {!default_dir}). *)
+
+val dir : t -> string
+
+val find : t -> string -> float option
+(** Look the key up, first in the in-memory memo, then on disk. Counts
+    a hit or a miss. Thread-safe. *)
+
+val store : t -> string -> float -> unit
+(** Persist a score for a key (atomic write; also memoized in memory).
+    Thread-safe. *)
+
+val hits : t -> int
+(** Number of [find]s answered from memo or disk since [open_dir]. *)
+
+val misses : t -> int
+(** Number of [find]s that found nothing since [open_dir]. *)
+
+val entries : t -> int
+(** Number of entry files currently on disk. *)
+
+val clear : t -> unit
+(** Delete every entry file and reset the in-memory memo (counters are
+    kept). *)

@@ -1,0 +1,51 @@
+(** A fixed pool of worker domains pulling tasks off a shared work
+    queue, built on OCaml 5 [Domain]s.
+
+    The design-space exploration of Section 4 runs one compile+simulate
+    job per (threads-per-block, merge-degree) candidate; the candidates
+    are independent, so the sweep is embarrassingly parallel. [Pool]
+    provides the order-preserving parallel map that {!Explore} fans
+    candidates out with.
+
+    Workers are plain domains blocked on a condition variable; tasks are
+    closures on a shared queue. A task that raises never kills a worker:
+    the exception is captured per task and surfaced to the caller of
+    {!map} after the whole batch has drained. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: the [GPCC_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    [jobs <= 1] creates a pool with no workers: every [map] runs
+    sequentially in the calling domain. *)
+
+val size : t -> int
+(** Number of worker domains ([0] for a sequential pool). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs] on the pool's
+    workers and returns the results in input order. If one or more
+    applications raise, the whole batch still drains, then the exception
+    of the earliest (by input order) failing element is re-raised in the
+    caller. *)
+
+val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map} but with per-element failure isolation: each element
+    maps to [Ok y] or [Error exn], in input order. Never raises from
+    task exceptions. *)
+
+val shutdown : t -> unit
+(** Signal workers to exit and join them. Idempotent; after shutdown the
+    pool runs maps sequentially in the caller. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, runs [f], and shuts the pool down even
+    if [f] raises. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** One-shot convenience: [with_pool ~jobs (fun p -> map_result p f xs)]. *)

@@ -1,0 +1,236 @@
+(** The parallel design-space exploration engine: the domain pool, the
+    jobs-invariance of the Section-4 search, per-candidate failure
+    isolation, and the persistent exploration cache. *)
+
+let fresh_cache_dir () = Filename.temp_dir "gpcc_test_cache" ""
+
+(* score equality must treat -inf = -inf as equal (a failed measurement
+   is a legitimate, shareable score) *)
+let score_t =
+  Alcotest.testable Fmt.float (fun a b -> a = b || Float.abs (a -. b) <= 1e-9)
+
+(* --- the pool itself --- *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      let got = Gpcc_core.Pool.with_pool ~jobs (fun p ->
+          Gpcc_core.Pool.map p (fun x -> x * x) xs)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in order (jobs=%d)" jobs)
+        (List.map (fun x -> x * x) xs)
+        got)
+    [ 1; 4 ]
+
+let test_pool_failure_isolation () =
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  let f x = if x mod 2 = 0 then failwith (string_of_int x) else x * 10 in
+  List.iter
+    (fun jobs ->
+      let results = Gpcc_core.Pool.run ~jobs f xs in
+      let show = function
+        | Ok y -> Printf.sprintf "ok:%d" y
+        | Error e -> "err:" ^ Printexc.to_string e
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "per-element results (jobs=%d)" jobs)
+        [ "ok:10"; "err:Failure(\"2\")"; "ok:30"; "err:Failure(\"4\")";
+          "ok:50" ]
+        (List.map show results);
+      (* map re-raises the earliest failing element *)
+      match
+        Gpcc_core.Pool.with_pool ~jobs (fun p -> Gpcc_core.Pool.map p f xs)
+      with
+      | _ -> Alcotest.fail "map should re-raise"
+      | exception Failure m ->
+          Alcotest.(check string)
+            (Printf.sprintf "earliest error wins (jobs=%d)" jobs)
+            "2" m)
+    [ 1; 4 ]
+
+let test_pool_reuse_and_shutdown () =
+  let p = Gpcc_core.Pool.create ~jobs:3 () in
+  Alcotest.(check int) "workers" 3 (Gpcc_core.Pool.size p);
+  let a = Gpcc_core.Pool.map p succ [ 1; 2; 3 ] in
+  let b = Gpcc_core.Pool.map p succ [ 4; 5 ] in
+  Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
+  Alcotest.(check (list int)) "second batch" [ 5; 6 ] b;
+  Gpcc_core.Pool.shutdown p;
+  Gpcc_core.Pool.shutdown p;
+  (* after shutdown the pool degrades to sequential, it does not hang *)
+  Alcotest.(check (list int))
+    "post-shutdown map" [ 7 ]
+    (Gpcc_core.Pool.map p succ [ 6 ])
+
+(* --- jobs-invariance of the search --- *)
+
+let sim_measure cfg w n =
+  Gpcc_workloads.Workload.measure_gflops ~sample:1 ~streams:3 cfg w n
+
+let search_best ~jobs ?cache ?cache_prefix name n =
+  let w = Gpcc_workloads.Registry.find_exn name in
+  let k = Gpcc_workloads.Workload.parse w n in
+  let cands =
+    Gpcc_core.Explore.search ~cfg:Util.cfg280 ~jobs ?cache ?cache_prefix k
+      ~measure:(sim_measure Util.cfg280 w n)
+  in
+  (cands, Gpcc_core.Explore.best cands)
+
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun name ->
+      let cands1, best1 = search_best ~jobs:1 name 64 in
+      let cands4, best4 = search_best ~jobs:4 name 64 in
+      Alcotest.(check int)
+        (name ^ ": same candidate count")
+        (List.length cands1) (List.length cands4);
+      List.iter2
+        (fun (a : Gpcc_core.Explore.candidate)
+             (b : Gpcc_core.Explore.candidate) ->
+          Alcotest.(check (pair int int))
+            (name ^ ": same candidate order")
+            (a.target_block_threads, a.merge_degree)
+            (b.target_block_threads, b.merge_degree);
+          Alcotest.check score_t (name ^ ": same score") a.score b.score)
+        cands1 cands4;
+      match (best1, best4) with
+      | Some b1, Some b4 ->
+          Alcotest.(check (pair int int))
+            (name ^ ": same best config")
+            (b1.target_block_threads, b1.merge_degree)
+            (b4.target_block_threads, b4.merge_degree);
+          Alcotest.(check string)
+            (name ^ ": byte-identical chosen kernel")
+            (Gpcc_ast.Pp.kernel_to_string ~launch:b1.result.launch
+               b1.result.kernel)
+            (Gpcc_ast.Pp.kernel_to_string ~launch:b4.result.launch
+               b4.result.kernel)
+      | _ -> Alcotest.failf "%s: search found no best candidate" name)
+    [ "mm"; "tp" ]
+
+(* --- failure isolation in the sweep --- *)
+
+let test_raising_candidate_isolated () =
+  let w = Gpcc_workloads.Registry.find_exn "mm" in
+  let k = Gpcc_workloads.Workload.parse w 64 in
+  (* deliberately blow up the measurement of every >=32-thread version
+     (at n=64 the compiled blocks are 16..64 threads); the sweep must
+     complete and still pick among the surviving ones *)
+  let measure kernel launch =
+    if Gpcc_ast.Ast.threads_per_block launch >= 32 then
+      failwith "injected measurement fault"
+    else sim_measure Util.cfg280 w 64 kernel launch
+  in
+  List.iter
+    (fun jobs ->
+      let cands, failures =
+        Gpcc_core.Explore.search_with_failures ~cfg:Util.cfg280 ~jobs k
+          ~measure
+      in
+      let poisoned, healthy =
+        List.partition
+          (fun (c : Gpcc_core.Explore.candidate) ->
+            c.score = Float.neg_infinity)
+          cands
+      in
+      if List.length poisoned = 0 then
+        Alcotest.failf "jobs=%d: fault was never injected" jobs;
+      if List.length healthy = 0 then
+        Alcotest.failf "jobs=%d: no candidate survived" jobs;
+      if
+        not
+          (List.exists
+             (fun (f : Gpcc_core.Explore.failure) ->
+               f.failed_stage = `Measure
+               && Util.contains ~needle:"injected measurement fault" f.reason)
+             failures)
+      then Alcotest.failf "jobs=%d: fault not reported in failures" jobs;
+      match Gpcc_core.Explore.best cands with
+      | Some b ->
+          if b.score = Float.neg_infinity then
+            Alcotest.failf "jobs=%d: best is a poisoned candidate" jobs
+      | None -> Alcotest.failf "jobs=%d: sweep aborted" jobs)
+    [ 1; 4 ]
+
+(* --- the persistent cache --- *)
+
+let test_cache_roundtrip () =
+  let dir = fresh_cache_dir () in
+  let c = Gpcc_core.Explore_cache.open_dir ~dir () in
+  Alcotest.(check (option (float 0.))) "empty" None
+    (Gpcc_core.Explore_cache.find c "k1");
+  Gpcc_core.Explore_cache.store c "k1" 123.456;
+  Gpcc_core.Explore_cache.store c "k2" Float.neg_infinity;
+  Alcotest.(check (option (float 1e-12)))
+    "memo hit" (Some 123.456)
+    (Gpcc_core.Explore_cache.find c "k1");
+  (* a fresh handle on the same directory reads from disk *)
+  let c2 = Gpcc_core.Explore_cache.open_dir ~dir () in
+  Alcotest.(check (option (float 1e-12)))
+    "disk round-trip" (Some 123.456)
+    (Gpcc_core.Explore_cache.find c2 "k1");
+  Alcotest.(check bool)
+    "-inf survives" true
+    (Gpcc_core.Explore_cache.find c2 "k2" = Some Float.neg_infinity);
+  Alcotest.(check int) "entries" 2 (Gpcc_core.Explore_cache.entries c2);
+  Alcotest.(check int) "hits" 2 (Gpcc_core.Explore_cache.hits c2);
+  Alcotest.(check int) "misses" 1 (Gpcc_core.Explore_cache.misses c);
+  Gpcc_core.Explore_cache.clear c2;
+  Alcotest.(check int) "cleared" 0 (Gpcc_core.Explore_cache.entries c2);
+  Alcotest.(check (option (float 0.)))
+    "gone after clear" None
+    (Gpcc_core.Explore_cache.find c2 "k1")
+
+let test_cached_search_identical () =
+  let dir = fresh_cache_dir () in
+  let cold = Gpcc_core.Explore_cache.open_dir ~dir () in
+  let cands_cold, _ =
+    search_best ~jobs:1 ~cache:cold ~cache_prefix:"t/mm/64" "mm" 64
+  in
+  let measured = Gpcc_core.Explore_cache.entries cold in
+  Alcotest.(check bool) "cold run measured something" true (measured > 0);
+  (* fresh handle: every distinct version must now come from disk, and
+     the scored sweep must be identical — also under a parallel pool *)
+  List.iter
+    (fun jobs ->
+      let warm = Gpcc_core.Explore_cache.open_dir ~dir () in
+      let cands_warm, _ =
+        search_best ~jobs ~cache:warm ~cache_prefix:"t/mm/64" "mm" 64
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all hits (jobs=%d)" jobs)
+        measured
+        (Gpcc_core.Explore_cache.hits warm);
+      Alcotest.(check int)
+        (Printf.sprintf "no misses (jobs=%d)" jobs)
+        0
+        (Gpcc_core.Explore_cache.misses warm);
+      List.iter2
+        (fun (a : Gpcc_core.Explore.candidate)
+             (b : Gpcc_core.Explore.candidate) ->
+          Alcotest.check score_t
+            (Printf.sprintf "identical score t=%d d=%d (jobs=%d)"
+               a.target_block_threads a.merge_degree jobs)
+            a.score b.score)
+        cands_cold cands_warm)
+    [ 1; 4 ]
+
+let suite =
+  ( "explore",
+    [
+      Alcotest.test_case "pool: map preserves order" `Quick
+        test_pool_map_order;
+      Alcotest.test_case "pool: per-task failure isolation" `Quick
+        test_pool_failure_isolation;
+      Alcotest.test_case "pool: reuse and shutdown" `Quick
+        test_pool_reuse_and_shutdown;
+      Alcotest.test_case "search: parallel == sequential (mm, tp)" `Slow
+        test_parallel_matches_sequential;
+      Alcotest.test_case "search: raising candidate is isolated" `Slow
+        test_raising_candidate_isolated;
+      Alcotest.test_case "cache: round-trip" `Quick test_cache_roundtrip;
+      Alcotest.test_case "cache: cached search returns identical scores"
+        `Slow test_cached_search_identical;
+    ] )

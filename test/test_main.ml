@@ -11,6 +11,7 @@ let () =
       Test_sim.suite;
       Test_passes.suite;
       Test_workloads.suite;
+      Test_explore.suite;
       Test_compiler.suite;
       Test_fuzz.suite;
     ]
