@@ -99,6 +99,7 @@ let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
                     m "  t=%d d=%d %s: %s" f.failed_target f.failed_degree
                       (match f.failed_stage with
                       | `Compile -> "compile"
+                      | `Verify -> "verify"
                       | `Measure -> "measure")
                       f.reason))
               failures;

@@ -7,7 +7,11 @@
     - [check FILE]: parse and type-check a kernel, report the coalescing
       verdict of every global access (Section 3.2's analysis);
     - [explore FILE]: generate the Section-4 design space, simulate every
-      version, and print the scored table;
+      version, and print the scored table (exits non-zero when every
+      candidate fails);
+    - [lint FILE | --workloads]: run the static kernel verifier and
+      report diagnostics (races, barrier divergence, bounds, bank
+      conflicts, coalescing), humanly or as JSON;
     - [deploy FILE]: select one optimized version per GPU (Section 4.2);
     - [bench WORKLOAD]: compile a built-in workload and report
       naive/optimized simulated performance;
@@ -132,10 +136,34 @@ let explore_cmd =
           in
           float_of_int occ.active_warps
         in
-        let cands =
-          Gpcc_core.Explore.search ~cfg ~jobs k ~measure
-          |> Gpcc_core.Explore.distinct
+        let cands, failures =
+          Gpcc_core.Explore.search_with_failures ~cfg ~jobs k ~measure
         in
+        let cands = Gpcc_core.Explore.distinct cands in
+        List.iter
+          (fun (f : Gpcc_core.Explore.failure) ->
+            Printf.eprintf "failed t=%d m=%d (%s): %s\n" f.failed_target
+              f.failed_degree
+              (match f.failed_stage with
+              | `Compile -> "compile"
+              | `Verify -> "verify"
+              | `Measure -> "measure")
+              f.reason)
+          failures;
+        let usable =
+          List.filter
+            (fun (c : Gpcc_core.Explore.candidate) ->
+              c.score > Float.neg_infinity)
+            cands
+        in
+        if usable = [] then begin
+          Printf.eprintf
+            "explore: every candidate failed (%d compile/verify, %d \
+             unusable scores)\n"
+            (List.length failures)
+            (List.length cands);
+          exit 1
+        end;
         Printf.printf "%-8s %-8s %-10s %-8s\n" "threads" "merge" "score" "launch";
         List.iter
           (fun (c : Gpcc_core.Explore.candidate) ->
@@ -148,6 +176,139 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc:"Enumerate the design space of merge configurations")
     Term.(const run $ gpu_arg $ jobs_arg $ file_arg)
+
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let module V = Gpcc_analysis.Verify in
+  (* one lint unit: kernel name, variant label, launch, diagnostics *)
+  let lint_kernel ~variant (k : Gpcc_ast.Ast.kernel)
+      (launch : Gpcc_ast.Ast.launch) =
+    (k.k_name, variant, launch, V.check ~launch k)
+  in
+  let optimize cfg k =
+    let opts =
+      { (Gpcc_core.Compiler.default_options ~cfg ()) with verify = false }
+    in
+    let r = Gpcc_core.Compiler.run ~opts k in
+    (r.kernel, r.launch)
+  in
+  let launch_of k =
+    match Gpcc_passes.Pass_util.naive_launch k with
+    | Some l -> Some l
+    | None -> Gpcc_passes.Pass_util.initial_launch k
+  in
+  let results_of_file cfg optimized file =
+    let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+    Gpcc_ast.Typecheck.check k;
+    match launch_of k with
+    | None ->
+        Printf.eprintf "lint: cannot derive a launch configuration for %s\n"
+          file;
+        exit 1
+    | Some launch ->
+        if optimized then begin
+          let k', l' = optimize cfg k in
+          [ lint_kernel ~variant:"optimized" k' l' ]
+        end
+        else [ lint_kernel ~variant:"naive" k launch ]
+  in
+  let results_of_workloads cfg =
+    let of_workload (w : Gpcc_workloads.Workload.t) =
+      let k = Gpcc_workloads.Workload.parse w w.test_size in
+      let naive =
+        match launch_of k with
+        | Some launch -> [ lint_kernel ~variant:"naive" k launch ]
+        | None -> []
+      in
+      let k', l' = optimize cfg k in
+      naive @ [ lint_kernel ~variant:"optimized" k' l' ]
+    in
+    let of_comparator (c : Gpcc_workloads.Cublas_sim.comparator) =
+      let n = 64 in
+      let k = Gpcc_workloads.Cublas_sim.kernel c n in
+      [ lint_kernel ~variant:"cublas" k (c.c_launch n) ]
+    in
+    List.concat_map of_workload
+      (Gpcc_workloads.Registry.all @ Gpcc_workloads.Registry.extras)
+    @ List.concat_map of_comparator Gpcc_workloads.Cublas_sim.all
+  in
+  let emit_json results nerr nwarn =
+    let result_json (name, variant, (l : Gpcc_ast.Ast.launch), ds) =
+      Printf.sprintf
+        {|{"kernel":"%s","variant":"%s","launch":"(%d,%d)x(%d,%d)","diagnostics":%s}|}
+        name variant l.grid_x l.grid_y l.block_x l.block_y
+        (V.json_of_diagnostics ds)
+    in
+    Printf.printf
+      {|{"schema":"gpcc-lint-v1","errors":%d,"warnings":%d,"results":[%s]}|}
+      nerr nwarn
+      (String.concat "," (List.map result_json results));
+    print_newline ()
+  in
+  let emit_human results nerr nwarn =
+    List.iter
+      (fun (name, variant, (l : Gpcc_ast.Ast.launch), ds) ->
+        Printf.printf "%s (%s) at (%d,%d)x(%d,%d): %s\n" name variant
+          l.grid_x l.grid_y l.block_x l.block_y
+          (if ds = [] then "clean"
+           else
+             Printf.sprintf "%d error(s), %d warning(s)"
+               (List.length (V.errors ds))
+               (List.length (V.warnings ds)));
+        List.iter (fun d -> Printf.printf "  %s\n" (V.to_string d)) ds)
+      results;
+    Printf.printf "lint: %d error(s), %d warning(s)\n" nerr nwarn
+  in
+  let run cfg json optimized workloads file =
+    handle_errors (fun () ->
+        let results =
+          if workloads then results_of_workloads cfg
+          else
+            match file with
+            | Some f -> results_of_file cfg optimized f
+            | None ->
+                Printf.eprintf "lint: give a FILE or --workloads\n";
+                exit 1
+        in
+        let all = List.concat_map (fun (_, _, _, ds) -> ds) results in
+        let nerr = List.length (V.errors all)
+        and nwarn = List.length (V.warnings all) in
+        if json then emit_json results nerr nwarn
+        else emit_human results nerr nwarn;
+        if nerr > 0 then exit 1)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let optimized_arg =
+    Arg.(
+      value & flag
+      & info [ "O"; "optimized" ]
+          ~doc:"Lint the pipeline's optimized output instead of the input.")
+  in
+  let workloads_arg =
+    Arg.(
+      value & flag
+      & info [ "workloads" ]
+          ~doc:
+            "Lint every built-in workload (naive and optimized) and the \
+             CUBLAS comparator kernels instead of a file.")
+  in
+  let opt_file_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Kernel source file.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify kernels: data races, barrier divergence, \
+          bounds, bank conflicts, coalescing")
+    Term.(
+      const run $ gpu_arg $ json_arg $ optimized_arg $ workloads_arg
+      $ opt_file_arg)
 
 (* --- bench --- *)
 
@@ -237,4 +398,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gpcc" ~version:"1.0.0" ~doc)
-          [ compile_cmd; check_cmd; explore_cmd; deploy_cmd; bench_cmd; list_cmd ]))
+          [ compile_cmd; check_cmd; explore_cmd; lint_cmd; deploy_cmd; bench_cmd;
+            list_cmd ]))

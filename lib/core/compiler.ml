@@ -34,6 +34,7 @@ type options = {
   enable_merge : bool;
   enable_prefetch : bool;
   enable_partition : bool;
+  verify : bool;  (** translation validation after every fired pass *)
 }
 
 let default_options ?(cfg = Gpcc_sim.Config.gtx280) () =
@@ -46,6 +47,7 @@ let default_options ?(cfg = Gpcc_sim.Config.gtx280) () =
     enable_merge = true;
     enable_prefetch = true;
     enable_partition = true;
+    verify = true;
   }
 
 type step = {
@@ -54,6 +56,7 @@ type step = {
   notes : string list;
   kernel_after : Ast.kernel;
   launch_after : Ast.launch;
+  diagnostics : Gpcc_analysis.Verify.diagnostic list;
 }
 
 type result = {
@@ -62,9 +65,62 @@ type result = {
   steps : step list;
 }
 
+let diagnostics (r : result) : Gpcc_analysis.Verify.diagnostic list =
+  List.concat_map (fun s -> s.diagnostics) r.steps
+
 exception Compile_error of string
 
-let record steps name (o : Pass_util.outcome) =
+let validation_prefix = "translation validation"
+
+let verifier_rejected = function
+  | Compile_error m ->
+      String.length m >= String.length validation_prefix
+      && String.sub m 0 (String.length validation_prefix) = validation_prefix
+  | _ -> false
+
+(* [Verify.check] is pure in the kernel + launch, and [Explore] compiles
+   many configurations whose pipelines revisit identical intermediate
+   kernels — memoize per worker domain (a shared table would need a
+   lock) keyed by the printed kernel digest. *)
+let verify_memo : (string, Gpcc_analysis.Verify.diagnostic list) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let verify_kernel (k : Ast.kernel) (launch : Ast.launch) :
+    Gpcc_analysis.Verify.diagnostic list =
+  let memo = Domain.DLS.get verify_memo in
+  let key = Digest.string (Pp.kernel_to_string ~launch k) in
+  match Hashtbl.find_opt memo key with
+  | Some ds -> ds
+  | None ->
+      let ds = Gpcc_analysis.Verify.check ~launch k in
+      if Hashtbl.length memo > 512 then Hashtbl.reset memo;
+      Hashtbl.add memo key ds;
+      ds
+
+(** Validate a pass result; errors blame [name]. Returns the full
+    diagnostic list (warnings included) for the step record. *)
+let validate (opts : options) name (k : Ast.kernel) (launch : Ast.launch) :
+    Gpcc_analysis.Verify.diagnostic list =
+  if not opts.verify then []
+  else begin
+    let ds = verify_kernel k launch in
+    (match Gpcc_analysis.Verify.errors ds with
+    | [] -> ()
+    | errs ->
+        raise
+          (Compile_error
+             (Printf.sprintf "%s failed after pass %S: %s" validation_prefix
+                name
+                (String.concat "; "
+                   (List.map Gpcc_analysis.Verify.to_string errs)))));
+    ds
+  end
+
+let record opts steps name (o : Pass_util.outcome) =
+  let diagnostics =
+    if o.fired then validate opts name o.kernel o.launch else []
+  in
   steps :=
     {
       step_name = name;
@@ -72,6 +128,7 @@ let record steps name (o : Pass_util.outcome) =
       notes = o.notes;
       kernel_after = o.kernel;
       launch_after = o.launch;
+      diagnostics;
     }
     :: !steps
 
@@ -101,7 +158,7 @@ let merge_phase (opts : options) (k : Ast.kernel) (launch : Ast.launch)
   let block_merge_fired =
     if bm > 1 then begin
       let o = Merge.block_merge_x !k !launch bm in
-      record steps (Printf.sprintf "thread-block merge X x%d" bm) o;
+      record opts steps (Printf.sprintf "thread-block merge X x%d" bm) o;
       k := o.kernel;
       launch := o.launch;
       o.fired
@@ -113,7 +170,7 @@ let merge_phase (opts : options) (k : Ast.kernel) (launch : Ast.launch)
      shared reuse across the merged threads). *)
   if (not block_merge_fired) && share_x_any then begin
     let o = Merge.thread_merge Merge.X !k !launch opts.merge_degree in
-    record steps
+    record opts steps
       (Printf.sprintf "thread merge X x%d (block merge blocked)"
          opts.merge_degree)
       o;
@@ -126,7 +183,7 @@ let merge_phase (opts : options) (k : Ast.kernel) (launch : Ast.launch)
      replicated stagings, so it is used for both. *)
   if share_y_g2r || share_y_g2s then begin
     let o = Merge.thread_merge Merge.Y !k !launch opts.merge_degree in
-    record steps (Printf.sprintf "thread merge Y x%d" opts.merge_degree) o;
+    record opts steps (Printf.sprintf "thread merge Y x%d" opts.merge_degree) o;
     k := o.kernel;
     launch := o.launch
   end
@@ -137,7 +194,7 @@ let merge_phase (opts : options) (k : Ast.kernel) (launch : Ast.launch)
     let deg = min opts.merge_degree !launch.grid_x in
     if deg > 1 then begin
       let o = Merge.thread_merge Merge.X !k !launch deg in
-      record steps (Printf.sprintf "thread merge X x%d (1-D)" deg) o;
+      record opts steps (Printf.sprintf "thread merge X x%d (1-D)" deg) o;
       k := o.kernel;
       launch := o.launch
     end
@@ -156,12 +213,13 @@ let run ?(opts = default_options ()) (naive : Ast.kernel) : result =
              "cannot derive the thread domain: give an output array or \
               #pragma gpcc dim __threads_x/__threads_y")
   in
+  ignore (validate opts "input" naive launch);
   let steps = ref [] in
   let k = ref naive and l = ref launch in
   let apply name enabled f =
     if enabled then begin
       let o : Pass_util.outcome = f !k !l in
-      record steps name o;
+      record opts steps name o;
       k := o.kernel;
       l := o.launch
     end

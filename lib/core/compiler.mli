@@ -13,6 +13,11 @@ type options = {
   enable_merge : bool;
   enable_prefetch : bool;
   enable_partition : bool;
+  verify : bool;
+      (** run {!Gpcc_analysis.Verify} on the input kernel and after every
+          fired pass (translation validation); error diagnostics raise
+          {!Compile_error} naming the pass that introduced them (on by
+          default) *)
 }
 
 val default_options : ?cfg:Gpcc_sim.Config.t -> unit -> options
@@ -23,6 +28,9 @@ type step = {
   notes : string list;
   kernel_after : Gpcc_ast.Ast.kernel;
   launch_after : Gpcc_ast.Ast.launch;
+  diagnostics : Gpcc_analysis.Verify.diagnostic list;
+      (** verifier output after this pass (empty when the pass did not
+          fire or [verify] is off; never contains errors — those raise) *)
 }
 
 type result = {
@@ -32,6 +40,14 @@ type result = {
 }
 
 exception Compile_error of string
+
+(** All verifier diagnostics accumulated across the pipeline's steps. *)
+val diagnostics : result -> Gpcc_analysis.Verify.diagnostic list
+
+(** Whether an exception is a {!Compile_error} raised by translation
+    validation (as opposed to, e.g., a missing thread domain) — lets
+    {!Explore} classify verifier-rejected candidates separately. *)
+val verifier_rejected : exn -> bool
 
 (** Run the full pipeline. Raises {!Compile_error} when the thread domain
     cannot be derived (no output array and no [__threads_x] pragma) or

@@ -31,7 +31,7 @@ type candidate = {
 type failure = {
   failed_target : int;
   failed_degree : int;
-  failed_stage : [ `Compile | `Measure ];
+  failed_stage : [ `Compile | `Verify | `Measure ];
   reason : string;
 }
 
@@ -91,7 +91,9 @@ let search_with_failures ?(cfg = Gpcc_sim.Config.gtx280)
                   {
                     failed_target = target;
                     failed_degree = degree;
-                    failed_stage = `Compile;
+                    failed_stage =
+                      (if Compiler.verifier_rejected e then `Verify
+                       else `Compile);
                     reason = Printexc.to_string e;
                   }
                   :: fs ))

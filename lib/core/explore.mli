@@ -20,7 +20,9 @@ type candidate = {
 type failure = {
   failed_target : int;  (** requested threads per block *)
   failed_degree : int;  (** requested thread-merge degree *)
-  failed_stage : [ `Compile | `Measure ];
+  failed_stage : [ `Compile | `Verify | `Measure ];
+      (** [`Verify]: the pipeline ran but translation validation rejected
+          the result (see {!Compiler.verifier_rejected}) *)
   reason : string;  (** printed exception *)
 }
 

@@ -47,12 +47,62 @@ type bctx = {
   mutable txparts : int list;
       (** partitions of issued transactions, most recent first, when
           [record_tx]; consumed by the partition-camping model *)
+  check : bool;  (** dynamic race detection (GPCC_CHECK=1) *)
+  mutable epoch : int;  (** barrier-interval counter for [check] *)
+  shadow : (string, shadow) Hashtbl.t;
+      (** per shared array: last write / read per element, as
+          [(epoch, lane)]; lane [-2] marks multiple readers *)
 }
+
+and shadow = { sh_w : (int * int) array; sh_r : (int * int) array }
 
 let inst (c : bctx) = c.stats.warp_insts <- c.stats.warp_insts +. c.warps
 
 let flops (c : bctx) k =
   c.stats.flops <- c.stats.flops +. float_of_int k
+
+
+(* --- dynamic race detection (GPCC_CHECK=1) ---
+
+   Shadow state per shared-memory element: the last write and the last
+   read, each tagged with the barrier-interval epoch it happened in.
+   Two threads touching one element in the same epoch with at least one
+   write is a race; reads by two distinct lanes collapse to lane [-2]
+   (any same-epoch write to a multi-read element races). This mirrors
+   the static verifier's barrier-interval rule at runtime. *)
+
+let check_shared_load (c : bctx) arr lane o =
+  match Hashtbl.find_opt c.shadow arr with
+  | None -> ()
+  | Some sh ->
+      let wep, wl = sh.sh_w.(o) in
+      if wep = c.epoch && wl <> lane then
+        err
+          "data race on shared %s[%d]: read by thread %d after write by \
+           thread %d in the same barrier interval"
+          arr o lane wl;
+      let rep, rl = sh.sh_r.(o) in
+      if rep <> c.epoch then sh.sh_r.(o) <- (c.epoch, lane)
+      else if rl <> lane then sh.sh_r.(o) <- (c.epoch, -2)
+
+let check_shared_store (c : bctx) arr lane o =
+  match Hashtbl.find_opt c.shadow arr with
+  | None -> ()
+  | Some sh ->
+      let wep, wl = sh.sh_w.(o) in
+      if wep = c.epoch && wl <> lane then
+        err
+          "data race on shared %s[%d]: threads %d and %d both write in one \
+           barrier interval"
+          arr o wl lane;
+      let rep, rl = sh.sh_r.(o) in
+      if rep = c.epoch && (rl = -2 || rl <> lane) then
+        err
+          "data race on shared %s[%d]: write by thread %d after read by \
+           thread %s in the same barrier interval"
+          arr o lane
+          (if rl = -2 then "(multiple)" else string_of_int rl);
+      sh.sh_w.(o) <- (c.epoch, lane)
 
 (* --- value helpers --- *)
 
@@ -348,6 +398,7 @@ and eval_load (c : bctx) (mask : int array) arr idxs : vals =
           let o = offs.(l) in
           if o < 0 || o >= len then
             err "out-of-bounds shared load %s[%d] (size %d)" arr o len;
+          if c.check then check_shared_load c arr l o;
           out.(l) <- data.(o))
         mask;
       account_shared c mask (fun l -> offs.(l));
@@ -498,6 +549,7 @@ and exec_stmt (c : bctx) (mask : int array) (s : Ast.stmt) : unit =
   | Comment _ -> ()
   | Sync ->
       c.stats.syncs <- c.stats.syncs +. 1.;
+      c.epoch <- c.epoch + 1;
       inst c
   | Global_sync -> ()  (* handled by Launch at grid level *)
   | Decl { d_name; d_ty = Scalar sc; d_init } ->
@@ -511,8 +563,14 @@ and exec_stmt (c : bctx) (mask : int array) (s : Ast.stmt) : unit =
   | Decl { d_name; d_ty = Array ({ space = Shared; _ } as a); _ } ->
       if not (Hashtbl.mem c.env d_name) then begin
         let lay = Layout.make ~pad:false d_name a in
-        Hashtbl.replace c.env d_name
-          (Eshared (lay, Array.make (max 1 (Layout.size_elems lay)) 0.0))
+        let len = max 1 (Layout.size_elems lay) in
+        Hashtbl.replace c.env d_name (Eshared (lay, Array.make len 0.0));
+        if c.check then
+          Hashtbl.replace c.shadow d_name
+            {
+              sh_w = Array.make len (-1, -1);
+              sh_r = Array.make len (-1, -1);
+            }
       end
   | Decl { d_name; d_ty = Array _; _ } ->
       err "declaration of non-shared array %s in kernel body" d_name
@@ -630,6 +688,7 @@ and exec_assign (c : bctx) mask (lv : Ast.lvalue) (e : Ast.expr) : unit =
               let o = offs.(l) in
               if o < 0 || o >= len then
                 err "out-of-bounds shared store %s[%d] (size %d)" arr o len;
+              if c.check then check_shared_store c arr l o;
               data.(o) <- src.(l))
             mask;
           account_shared c mask (fun l -> offs.(l))
@@ -640,9 +699,15 @@ and exec_assign (c : bctx) mask (lv : Ast.lvalue) (e : Ast.expr) : unit =
 (** Build the execution context of one thread block. Thread linearization
     is row-major: lane = tidy*block_x + tidx, so consecutive lanes vary
     [tidx] first — matching CUDA's warp packing. *)
-let make_bctx ?(record_tx = false) (cfg : Config.t) (stats : Stats.t)
+let env_check () =
+  match Sys.getenv_opt "GPCC_CHECK" with
+  | Some ("1" | "true") -> true
+  | _ -> false
+
+let make_bctx ?(record_tx = false) ?check (cfg : Config.t) (stats : Stats.t)
     (k : Ast.kernel) (launch : Ast.launch) (mem : Devmem.t) ~(bidx : int)
     ~(bidy : int) : bctx =
+  let check = match check with Some b -> b | None -> env_check () in
   let n = launch.block_x * launch.block_y in
   let tidx = Array.init n (fun l -> l mod launch.block_x) in
   let tidy = Array.init n (fun l -> l / launch.block_x) in
@@ -673,6 +738,9 @@ let make_bctx ?(record_tx = false) (cfg : Config.t) (stats : Stats.t)
     env;
     record_tx;
     txparts = [];
+    check;
+    epoch = 1;
+    shadow = Hashtbl.create 4;
   }
 
 let full_mask (c : bctx) = Array.init c.n (fun i -> i)
@@ -680,4 +748,5 @@ let full_mask (c : bctx) = Array.init c.n (fun i -> i)
 (** Execute one thread block over [body] (which may be a phase of the
     kernel when [__global_sync] is present). *)
 let run_block (c : bctx) (body : Ast.block) : unit =
+  c.epoch <- c.epoch + 1;
   exec_block c (full_mask c) body

@@ -47,3 +47,37 @@ Errors are reported with positions:
   $ gpcc compile bad.cu
   type error: undeclared variable nope
   [1]
+
+The static verifier lints kernels; the paper's mm kernel is clean apart
+from its known uncoalesced load:
+
+  $ gpcc lint mm.cu
+  mm (naive) at (4,4)x(16,16): 0 error(s), 1 warning(s)
+    warning[noncoalesced] mm: global access a[idy][i] is not coalesced (all 16 lanes of a half-warp read one address)
+  lint: 0 error(s), 1 warning(s)
+
+After the full pipeline the load is staged through shared memory:
+
+  $ gpcc lint -O mm.cu
+  mm (optimized) at (4,4)x(16,1): clean
+  lint: 0 error(s), 0 warning(s)
+
+A missing barrier is an error and a non-zero exit:
+
+  $ cat > racy.cu <<'SRC'
+  > #pragma gpcc dim n 64
+  > #pragma gpcc output c
+  > __kernel void racy(float a[64], float c[64], int n) {
+  >   __shared__ float s[16];
+  >   s[tidx] = a[idx];
+  >   c[idx] = s[(tidx + 1) % 16];
+  > }
+  > SRC
+  $ gpcc lint racy.cu
+  racy (naive) at (4,1)x(16,1): 1 error(s), 0 warning(s)
+    error[race-shared] racy: threads 0 and 1 of block (0,0) touch s element 1 in the same barrier interval (read at top level, write at top level): insert __syncthreads() between the accesses
+  lint: 1 error(s), 0 warning(s)
+  [1]
+
+  $ gpcc lint --json racy.cu | head -c 64
+  {"schema":"gpcc-lint-v1","errors":1,"warnings":0,"results":[{"ke

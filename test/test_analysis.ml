@@ -158,6 +158,48 @@ __kernel void f(float a[64][64], float c[64][64], int w) {
   Alcotest.(check (list string)) "loop itself is safe" [ "i" ]
     a.Coalesce_check.safe_loops
 
+(* --- transaction formation: G80 strict vs GT200 relaxed --- *)
+
+let tx_count rules addrs =
+  List.length (Gpcc_sim.Coalescer.global_request rules ~min_tx:32 ~elt_bytes:4 addrs)
+
+let half_warp f = List.init 16 (fun l -> (l, f l))
+
+let test_txs_misaligned_base () =
+  (* base off by one element: strict serializes all 16 lanes, relaxed
+     touches two 64B segments *)
+  let addrs = half_warp (fun l -> (l + 1) * 4) in
+  Alcotest.(check int) "G80 misaligned" 16 (tx_count Gpcc_sim.Config.Strict_g80 addrs);
+  Alcotest.(check int) "GT200 misaligned" 2
+    (tx_count Gpcc_sim.Config.Relaxed_gt200 addrs)
+
+let test_txs_stride_2 () =
+  (* stride-2 floats span two segments: strict pays 16 transactions,
+     relaxed one per segment *)
+  let addrs = half_warp (fun l -> l * 8) in
+  Alcotest.(check int) "G80 stride-2" 16 (tx_count Gpcc_sim.Config.Strict_g80 addrs);
+  Alcotest.(check int) "GT200 stride-2" 2
+    (tx_count Gpcc_sim.Config.Relaxed_gt200 addrs)
+
+let test_txs_unit_stride () =
+  let addrs = half_warp (fun l -> 256 + (l * 4)) in
+  Alcotest.(check int) "G80 aligned" 1 (tx_count Gpcc_sim.Config.Strict_g80 addrs);
+  Alcotest.(check int) "GT200 aligned" 1
+    (tx_count Gpcc_sim.Config.Relaxed_gt200 addrs)
+
+let test_shared_padding_banks () =
+  (* column access through a [16][p] shared array: word l*p for lane l.
+     p=16 lands every lane in bank 0; the paper's p=17 padding spreads
+     them across all 16 banks *)
+  let column pitch = List.init 16 (fun l -> l * pitch) in
+  Alcotest.(check int) "unpadded column serializes" 16
+    (Gpcc_sim.Coalescer.shared_request ~banks:16 (column 16));
+  Alcotest.(check int) "[16][17] padding conflict-free" 1
+    (Gpcc_sim.Coalescer.shared_request ~banks:16 (column 17));
+  (* same-address lanes broadcast for free *)
+  Alcotest.(check int) "broadcast" 1
+    (Gpcc_sim.Coalescer.shared_request ~banks:16 (List.init 16 (fun _ -> 5)))
+
 (* --- layout --- *)
 
 let test_layout_padding () =
@@ -246,6 +288,10 @@ let suite =
       t "index classification" test_index_classification;
       t "divergence tracking" test_divergence_tracking;
       t "safe loops under guards" test_safe_loops;
+      t "txs: misaligned base" test_txs_misaligned_base;
+      t "txs: stride 2" test_txs_stride_2;
+      t "txs: unit stride" test_txs_unit_stride;
+      t "shared bank padding" test_shared_padding_banks;
       t "layout padding" test_layout_padding;
       t "layout flattening" test_layout_flatten;
       t "layout rank mismatch" test_layout_rank_mismatch;

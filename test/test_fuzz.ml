@@ -155,9 +155,36 @@ let pipeline_preserves_8800 =
       let got, _ = run_full ~cfg:cfg8800 r.kernel r.launch inputs "out" in
       floats_close ~eps:1e-3 got want)
 
+let pipeline_verifies_clean =
+  (* the pipeline's own translation validation is disabled so the
+     property, not the compiler, does the checking: every generated
+     kernel's optimized output must verify clean at the chosen launch *)
+  QCheck.Test.make ~count:40
+    ~name:"random kernels: optimized output verifies clean" arb
+    (fun (spec, (target, degree, vec)) ->
+      let module V = Gpcc_analysis.Verify in
+      let k = parse_kernel (source_of_spec spec) in
+      let opts =
+        {
+          (Gpcc_core.Compiler.default_options ~cfg:cfg280 ()) with
+          target_block_threads = target;
+          merge_degree = degree;
+          enable_vectorize = vec;
+          verify = false;
+        }
+      in
+      let r = Gpcc_core.Compiler.run ~opts k in
+      match V.errors (V.check ~launch:r.launch r.kernel) with
+      | [] -> true
+      | errs ->
+          QCheck.Test.fail_reportf "verifier rejected optimized kernel:\n%s\n%s"
+            (String.concat "\n" (List.map V.to_string errs))
+            (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel))
+
 let suite =
   ( "fuzz",
     [
       QCheck_alcotest.to_alcotest ~long:true pipeline_preserves;
       QCheck_alcotest.to_alcotest ~long:true pipeline_preserves_8800;
+      QCheck_alcotest.to_alcotest ~long:true pipeline_verifies_clean;
     ] )

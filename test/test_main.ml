@@ -8,6 +8,7 @@ let () =
       Test_affine.suite;
       Test_rewrite.suite;
       Test_analysis.suite;
+      Test_verify.suite;
       Test_sim.suite;
       Test_passes.suite;
       Test_workloads.suite;
