@@ -110,16 +110,13 @@ let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
 
 (** Compile a workload at size [n] with the empirically chosen knobs. *)
 let compile_best (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
-    Gpcc_core.Compiler.result =
+    Gpcc_core.Pipeline.result =
   let target, degree = best_config cfg w n in
-  let opts =
-    {
-      (Gpcc_core.Compiler.default_options ~cfg ()) with
-      target_block_threads = target;
-      merge_degree = degree;
-    }
+  let pipeline =
+    Gpcc_core.Pipeline.default ~cfg ~target_block_threads:target
+      ~merge_degree:degree ()
   in
-  Gpcc_core.Compiler.run ~opts (Workload.parse w n)
+  Gpcc_core.Pipeline.run ~pipeline (Workload.parse w n)
 
 let measure_naive ?(sample = 4) cfg (w : Workload.t) n =
   let k = Workload.parse w n in
@@ -171,14 +168,11 @@ let fig10 () =
           Printf.printf "  %8d" target;
           List.iter
             (fun degree ->
-              let opts =
-                {
-                  (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
-                  target_block_threads = target;
-                  merge_degree = degree;
-                }
+              let pipeline =
+                Gpcc_core.Pipeline.default ~cfg:gtx280
+                  ~target_block_threads:target ~merge_degree:degree ()
               in
-              match Gpcc_core.Compiler.run ~opts (Workload.parse w n) with
+              match Gpcc_core.Pipeline.run ~pipeline (Workload.parse w n) with
               | r -> (
                   match
                     Workload.measure ~sample:1 ~streams:4 gtx280 w n r.kernel
@@ -280,7 +274,7 @@ let fig12 () =
           let target, degree = best_config cfg w n in
           try
             let stages =
-              Gpcc_core.Compiler.staged ~cfg ~target_block_threads:target
+              Gpcc_core.Pipeline.staged ~cfg ~target_block_threads:target
                 ~merge_degree:degree (Workload.parse w n)
             in
             let naive_ms = ref None in
@@ -362,17 +356,16 @@ let fig14 () =
     (fun n ->
       try
         let target, degree = best_config gtx280 w n in
-        let opts =
-          {
-            (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
-            target_block_threads = target;
-            merge_degree = degree;
-          }
+        let pipeline =
+          Gpcc_core.Pipeline.default ~cfg:gtx280 ~target_block_threads:target
+            ~merge_degree:degree ()
         in
-        let with_vec = Gpcc_core.Compiler.run ~opts (Workload.parse w n) in
+        let with_vec = Gpcc_core.Pipeline.run ~pipeline (Workload.parse w n) in
         let without =
-          Gpcc_core.Compiler.run
-            ~opts:{ opts with enable_vectorize = false }
+          Gpcc_core.Pipeline.run
+            ~pipeline:
+              (Gpcc_core.Pipeline.disable [ "vectorize-wide"; "vectorize" ]
+                 pipeline)
             (Workload.parse w n)
         in
         let tv = Workload.measure gtx280 w n with_vec.kernel with_vec.launch in
@@ -447,19 +440,17 @@ let fig16 () =
       try
         let tn = measure_naive gtx280 w n in
         let target, degree = best_config gtx280 w n in
-        let opts =
-          {
-            (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
-            target_block_threads = target;
-            merge_degree = degree;
-          }
+        let pipeline =
+          Gpcc_core.Pipeline.default ~cfg:gtx280 ~target_block_threads:target
+            ~merge_degree:degree ()
         in
         let nopc =
-          Gpcc_core.Compiler.run
-            ~opts:{ opts with enable_partition = false }
+          Gpcc_core.Pipeline.run
+            ~pipeline:
+              (Gpcc_core.Pipeline.disable [ "partition-camping" ] pipeline)
             (Workload.parse w n)
         in
-        let full = Gpcc_core.Compiler.run ~opts (Workload.parse w n) in
+        let full = Gpcc_core.Pipeline.run ~pipeline (Workload.parse w n) in
         let tnopc = Workload.measure gtx280 w n nopc.kernel nopc.launch in
         let tfull = Workload.measure gtx280 w n full.kernel full.launch in
         let c = Option.get (Cublas_sim.find "mv") in
@@ -510,7 +501,7 @@ let bechamel () =
     Test.make ~name:("full pipeline " ^ name)
       (Staged.stage (fun () ->
            ignore
-             (Gpcc_core.Compiler.run (Gpcc_ast.Parser.kernel_of_string src))))
+             (Gpcc_core.Pipeline.run (Gpcc_ast.Parser.kernel_of_string src))))
   in
   let tests =
     [ parse_test; analyze_test; compile_test "mm" mm_src; compile_test "mv" mv_src ]
@@ -648,22 +639,19 @@ let ablations () =
   (try
      let w = Registry.find_exn "mm" in
      let n = if fast then 256 else 512 in
-     let opts =
-       {
-         (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
-         target_block_threads = 64;
-         merge_degree = 4;
-       }
+     let pipeline =
+       Gpcc_core.Pipeline.default ~cfg:gtx280 ~target_block_threads:64
+         ~merge_degree:4 ()
      in
-     let with_pf = Gpcc_core.Compiler.run ~opts (Workload.parse w n) in
+     let with_pf = Gpcc_core.Pipeline.run ~pipeline (Workload.parse w n) in
      let without =
-       Gpcc_core.Compiler.run
-         ~opts:{ opts with enable_prefetch = false }
+       Gpcc_core.Pipeline.run
+         ~pipeline:(Gpcc_core.Pipeline.disable [ "prefetch" ] pipeline)
          (Workload.parse w n)
      in
      let fired =
        List.exists
-         (fun (s : Gpcc_core.Compiler.step) ->
+         (fun (s : Gpcc_core.Pipeline.step) ->
            s.step_name = "data prefetching" && s.fired)
          with_pf.steps
      in
@@ -683,13 +671,10 @@ let ablations () =
          let w = Registry.find_exn name in
          let n = if fast then 512 else 1024 in
          let fixed =
-           Gpcc_core.Compiler.run
-             ~opts:
-               {
-                 (Gpcc_core.Compiler.default_options ~cfg:gtx280 ()) with
-                 target_block_threads = 256;
-                 merge_degree = 16;
-               }
+           Gpcc_core.Pipeline.run
+             ~pipeline:
+               (Gpcc_core.Pipeline.default ~cfg:gtx280
+                  ~target_block_threads:256 ~merge_degree:16 ())
              (Workload.parse w n)
          in
          let tf = Workload.measure ~sample:2 gtx280 w n fixed.kernel fixed.launch in
@@ -731,13 +716,13 @@ let amd_vectors () =
   (try
      let k = Workload.parse w n in
      let r =
-       Gpcc_core.Compiler.run
-         ~opts:(Gpcc_core.Compiler.default_options ~cfg:amd ())
+       Gpcc_core.Pipeline.run
+         ~pipeline:(Gpcc_core.Pipeline.default ~cfg:amd ())
          k
      in
      let fired =
        List.exists
-         (fun (s : Gpcc_core.Compiler.step) ->
+         (fun (s : Gpcc_core.Pipeline.step) ->
            s.fired && s.step_name = "wide vectorization (AMD)")
          r.steps
      in
@@ -762,17 +747,35 @@ let sections =
 (** Write BENCH_<section>.json: rows recorded by the section, the wall
     clock, the worker-pool size and the exploration-cache traffic (hit
     and miss deltas over this section). *)
-let emit_json ~name ~wall_s ~hits ~misses ~rows =
+let emit_json ~name ~wall_s ~hits ~misses ~analysis_hits ~analysis_misses
+    ~rows =
   let cache_fields =
-    if Lazy.is_val explore_cache then
-      let c = Lazy.force explore_cache in
-      [
-        ("dir", Json_out.Str (Gpcc_core.Explore_cache.dir c));
-        ("hits", Json_out.Int hits);
-        ("misses", Json_out.Int misses);
-        ("entries", Json_out.Int (Gpcc_core.Explore_cache.entries c));
+    (if Lazy.is_val explore_cache then
+       let c = Lazy.force explore_cache in
+       [
+         ("dir", Json_out.Str (Gpcc_core.Explore_cache.dir c));
+         ("hits", Json_out.Int hits);
+         ("misses", Json_out.Int misses);
+         ("entries", Json_out.Int (Gpcc_core.Explore_cache.entries c));
+       ]
+     else [ ("hits", Json_out.Int 0); ("misses", Json_out.Int 0) ])
+    (* the in-process analysis manager (memoized Affine/Sharing/Coalesce/
+       Regcount/Verify results), aggregated across worker domains *)
+    @ [
+        ("analysis_hits", Json_out.Int analysis_hits);
+        ("analysis_misses", Json_out.Int analysis_misses);
       ]
-    else [ ("hits", Json_out.Int 0); ("misses", Json_out.Int 0) ]
+  in
+  let pass_timings =
+    List.map
+      (fun (pass, (runs, total_ms)) ->
+        Json_out.Obj
+          [
+            ("pass", Json_out.Str pass);
+            ("runs", Json_out.Int runs);
+            ("total_ms", Json_out.Float total_ms);
+          ])
+      (Gpcc_core.Pipeline.pass_timings ())
   in
   Json_out.to_file
     (Printf.sprintf "BENCH_%s.json" name)
@@ -784,6 +787,7 @@ let emit_json ~name ~wall_s ~hits ~misses ~rows =
          ("jobs", Json_out.Int !jobs);
          ("wall_clock_s", Json_out.Float wall_s);
          ("cache", Json_out.Obj cache_fields);
+         ("pass_timings", Json_out.List pass_timings);
          ("workloads", Json_out.List rows);
        ])
 
@@ -823,13 +827,20 @@ let () =
       match List.assoc_opt name sections with
       | Some f -> (
           Record.reset ();
+          Gpcc_core.Pipeline.reset_pass_timings ();
           let hits0, misses0 = cache_traffic () in
+          let ahits0 = Gpcc_analysis.Analysis_cache.global_hits ()
+          and amisses0 = Gpcc_analysis.Analysis_cache.global_misses () in
           let t0 = Unix.gettimeofday () in
           let finish () =
             let wall_s = Unix.gettimeofday () -. t0 in
             let hits1, misses1 = cache_traffic () in
             emit_json ~name ~wall_s ~hits:(hits1 - hits0)
-              ~misses:(misses1 - misses0) ~rows:(Record.take ());
+              ~misses:(misses1 - misses0)
+              ~analysis_hits:(Gpcc_analysis.Analysis_cache.global_hits () - ahits0)
+              ~analysis_misses:
+                (Gpcc_analysis.Analysis_cache.global_misses () - amisses0)
+              ~rows:(Record.take ());
             wall_s
           in
           match f () with

@@ -64,26 +64,44 @@ let handle_errors f =
   | Gpcc_ast.Typecheck.Type_error m ->
       Printf.eprintf "type error: %s\n" m;
       exit 1
-  | Gpcc_core.Compiler.Compile_error m ->
+  | Gpcc_core.Pipeline.Compile_error m ->
       Printf.eprintf "compile error: %s\n" m;
+      exit 1
+  | Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
       exit 1
 
 (* --- compile --- *)
 
 let compile_cmd =
-  let run cfg target degree verbose file =
+  let run cfg target degree verbose passes disabled print_pipeline
+      remarks_json file =
     handle_errors (fun () ->
-        let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
-        let opts =
-          {
-            (Gpcc_core.Compiler.default_options ~cfg ()) with
-            target_block_threads = target;
-            merge_degree = degree;
-          }
+        let pipeline =
+          let p =
+            Gpcc_core.Pipeline.default ~cfg ~target_block_threads:target
+              ~merge_degree:degree ()
+          in
+          let p =
+            match passes with
+            | Some names -> Gpcc_core.Pipeline.with_passes names p
+            | None -> p
+          in
+          Gpcc_core.Pipeline.disable disabled p
         in
-        let r = Gpcc_core.Compiler.run ~opts k in
-        if verbose then print_string (Gpcc_core.Compiler.report r);
-        print_string (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel))
+        if print_pipeline then
+          print_string (Gpcc_core.Pipeline.describe pipeline)
+        else begin
+          let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+          let r = Gpcc_core.Pipeline.run ~pipeline k in
+          if remarks_json then
+            print_endline (Gpcc_core.Pipeline.remarks_json r)
+          else begin
+            if verbose then print_string (Gpcc_core.Pipeline.report r);
+            print_string
+              (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel)
+          end
+        end)
   in
   let target =
     Arg.(value & opt int 256 & info [ "t"; "threads" ] ~doc:"Target threads per block.")
@@ -94,9 +112,43 @@ let compile_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-pass report.")
   in
+  let passes =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "passes" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Run exactly these passes, in this order (registry names; see \
+             $(b,--print-pipeline)).")
+  in
+  let disabled =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable-pass" ] ~docv:"PASS"
+          ~doc:"Disable one pass by registry name (repeatable).")
+  in
+  let print_pipeline =
+    Arg.(
+      value & flag
+      & info [ "print-pipeline" ]
+          ~doc:
+            "Print the resolved pass pipeline (names, paper sections, \
+             analysis uses/invalidations) and exit without compiling.")
+  in
+  let remarks_json =
+    Arg.(
+      value & flag
+      & info [ "remarks-json" ]
+          ~doc:
+            "Emit the structured per-pass optimization remarks (fired, \
+             reason, before/after metrics, wall-clock) as one JSON document \
+             instead of the optimized kernel.")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Optimize a naive kernel")
-    Term.(const run $ gpu_arg $ target $ degree $ verbose $ file_arg)
+    Term.(
+      const run $ gpu_arg $ target $ degree $ verbose $ passes $ disabled
+      $ print_pipeline $ remarks_json $ file_arg)
 
 (* --- check --- *)
 
@@ -188,10 +240,8 @@ let lint_cmd =
     (k.k_name, variant, launch, V.check ~launch k)
   in
   let optimize cfg k =
-    let opts =
-      { (Gpcc_core.Compiler.default_options ~cfg ()) with verify = false }
-    in
-    let r = Gpcc_core.Compiler.run ~opts k in
+    let pipeline = Gpcc_core.Pipeline.default ~cfg ~verify:false () in
+    let r = Gpcc_core.Pipeline.run ~pipeline k in
     (r.kernel, r.launch)
   in
   let launch_of k =
@@ -324,7 +374,10 @@ let bench_cmd =
             let k = Gpcc_workloads.Workload.parse w n in
             let nl = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
             let tn = Gpcc_workloads.Workload.measure cfg w n k nl in
-            let r = Gpcc_core.Compiler.run ~opts:(Gpcc_core.Compiler.default_options ~cfg ()) k in
+            let r =
+              Gpcc_core.Pipeline.run
+                ~pipeline:(Gpcc_core.Pipeline.default ~cfg ()) k
+            in
             let topt = Gpcc_workloads.Workload.measure cfg w n r.kernel r.launch in
             (* flop-free kernels (transpose) report effective bandwidth *)
             let metric (t : Gpcc_sim.Timing.result) =

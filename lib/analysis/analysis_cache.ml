@@ -1,0 +1,198 @@
+(** Memoized kernel analyses with bounded, LRU-bias eviction.
+
+    Every layer of the compiler keeps re-deriving the same facts about
+    the same intermediate kernels: the affine access table ({!Coalesce_check}),
+    the coalescing verdict, the data-sharing summary ({!Sharing}), the
+    register/shared-memory estimate ({!Regcount}) and the verifier's
+    diagnostics ({!Verify}). The design-space exploration makes this
+    quadratic — dozens of configurations whose pipelines revisit
+    identical intermediate kernels. This cache memoizes all five,
+    keyed by a digest of the printed kernel (plus the launch for
+    launch-dependent analyses), so any change to the kernel text
+    invalidates implicitly.
+
+    Passes additionally *declare* which analyses a fired transform
+    invalidates (see {!Gpcc_passes.Pass}); for the analyses a pass
+    preserves, {!preserve} carries the cached result forward from the
+    pre-transform kernel to the post-transform kernel without
+    recomputation. The soundness of each declaration is property-tested
+    (the preserved value must equal a fresh recomputation).
+
+    Eviction is bounded and per-entry: when a slot reaches capacity the
+    least-recently-used entry is dropped, so hot entries survive a long
+    exploration — unlike a blunt [Hashtbl.reset] that wipes the whole
+    table mid-sweep.
+
+    Instances are cheap; [domain ()] returns a per-worker-domain
+    instance (no locking needed), while the hit/miss counters aggregate
+    globally across domains via atomics. *)
+
+open Gpcc_ast
+
+(** The analyses the cache knows about — the invalidation vocabulary
+    passes declare against. *)
+type kind =
+  | Affine  (** the affine access table: {!Coalesce_check.analyze_kernel} *)
+  | Sharing  (** inter-block data sharing: {!Sharing.analyze} *)
+  | Coalesce  (** the all-accesses-coalesced verdict *)
+  | Regcount  (** registers/thread and shared bytes/block: {!Regcount} *)
+  | Verify  (** static verifier diagnostics: {!Verify.check} *)
+
+let all_kinds = [ Affine; Sharing; Coalesce; Regcount; Verify ]
+
+let kind_name = function
+  | Affine -> "affine"
+  | Sharing -> "sharing"
+  | Coalesce -> "coalesce"
+  | Regcount -> "regcount"
+  | Verify -> "verify"
+
+type 'a cell = { v : 'a; mutable tick : int }
+
+type 'a slot = (string, 'a cell) Hashtbl.t
+
+type t = {
+  affine : Coalesce_check.access list slot;
+  sharing : Sharing.array_sharing list slot;
+  coalesce : bool slot;
+  regcount : (int * int) slot;  (** (registers/thread, shared bytes/block) *)
+  verify : Verify.diagnostic list slot;
+  capacity : int;  (** max entries per slot before LRU eviction *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) () =
+  {
+    affine = Hashtbl.create 64;
+    sharing = Hashtbl.create 64;
+    coalesce = Hashtbl.create 64;
+    regcount = Hashtbl.create 64;
+    verify = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+
+let length t =
+  Hashtbl.length t.affine + Hashtbl.length t.sharing
+  + Hashtbl.length t.coalesce + Hashtbl.length t.regcount
+  + Hashtbl.length t.verify
+
+(* hit/miss totals across every domain's instance, for bench reporting *)
+let global_hit_count = Atomic.make 0
+let global_miss_count = Atomic.make 0
+let global_hits () = Atomic.get global_hit_count
+let global_misses () = Atomic.get global_miss_count
+
+(** Cache key of a kernel at a launch configuration. *)
+let key (k : Ast.kernel) (l : Ast.launch) : string =
+  Digest.string (Pp.kernel_to_string ~launch:l k)
+
+(** Launch-independent key (register/shared-memory estimation). *)
+let kernel_key (k : Ast.kernel) : string = Digest.string (Pp.kernel_to_string k)
+
+(* Drop the least-recently-used entry of a slot (linear scan: slots are
+   small and eviction only happens at capacity). *)
+let evict_lru (slot : 'a slot) =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key (cell : _ cell) ->
+      match !victim with
+      | Some (_, t) when t <= cell.tick -> ()
+      | _ -> victim := Some (key, cell.tick))
+    slot;
+  match !victim with Some (key, _) -> Hashtbl.remove slot key | None -> ()
+
+let find (t : t) (slot : 'a slot) (key : string) (compute : unit -> 'a) : 'a =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt slot key with
+  | Some cell ->
+      cell.tick <- t.tick;
+      t.hits <- t.hits + 1;
+      Atomic.incr global_hit_count;
+      cell.v
+  | None ->
+      t.misses <- t.misses + 1;
+      Atomic.incr global_miss_count;
+      let v = compute () in
+      if Hashtbl.length slot >= t.capacity then evict_lru slot;
+      Hashtbl.replace slot key { v; tick = t.tick };
+      v
+
+let accesses (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
+    Coalesce_check.access list =
+  find t t.affine (key k launch) (fun () ->
+      Coalesce_check.analyze_kernel ~launch k)
+
+let coalesced (t : t) ~(launch : Ast.launch) (k : Ast.kernel) : bool =
+  find t t.coalesce (key k launch) (fun () ->
+      Coalesce_check.all_coalesced (accesses t ~launch k))
+
+let sharing (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
+    Sharing.array_sharing list =
+  find t t.sharing (key k launch) (fun () -> Sharing.analyze ~launch k)
+
+let regcount (t : t) (k : Ast.kernel) : int * int =
+  find t t.regcount (kernel_key k) (fun () ->
+      (Regcount.estimate k, Regcount.shared_bytes k))
+
+let verify (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
+    Verify.diagnostic list =
+  find t t.verify (key k launch) (fun () -> Verify.check ~launch k)
+
+(* Copy one slot's cached value from the old key to the new key (no
+   hit/miss accounting: this is bookkeeping, not a lookup). *)
+let carry (t : t) (slot : 'a slot) ~(from_key : string) ~(to_key : string) :
+    unit =
+  if not (String.equal from_key to_key) then
+    match Hashtbl.find_opt slot from_key with
+    | None -> ()
+    | Some cell ->
+        t.tick <- t.tick + 1;
+        if
+          (not (Hashtbl.mem slot to_key))
+          && Hashtbl.length slot >= t.capacity
+        then evict_lru slot;
+        Hashtbl.replace slot to_key { v = cell.v; tick = t.tick }
+
+let preserve (t : t) ~(kinds : kind list)
+    ~(from_ : Ast.kernel * Ast.launch) ~(to_ : Ast.kernel * Ast.launch) :
+    unit =
+  let k0, l0 = from_ and k1, l1 = to_ in
+  let from_kl = lazy (key k0 l0) and to_kl = lazy (key k1 l1) in
+  List.iter
+    (fun kind ->
+      match kind with
+      | Affine ->
+          carry t t.affine ~from_key:(Lazy.force from_kl)
+            ~to_key:(Lazy.force to_kl)
+      | Sharing ->
+          carry t t.sharing ~from_key:(Lazy.force from_kl)
+            ~to_key:(Lazy.force to_kl)
+      | Coalesce ->
+          carry t t.coalesce ~from_key:(Lazy.force from_kl)
+            ~to_key:(Lazy.force to_kl)
+      | Regcount ->
+          carry t t.regcount ~from_key:(kernel_key k0)
+            ~to_key:(kernel_key k1)
+      | Verify ->
+          carry t t.verify ~from_key:(Lazy.force from_kl)
+            ~to_key:(Lazy.force to_kl))
+    kinds
+
+(* One instance per worker domain: the exploration pool fans compiles
+   out across domains, and a shared table would need a lock on the hot
+   path. *)
+let domain_instance : t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> create ())
+
+let domain () : t = Domain.DLS.get domain_instance

@@ -1,29 +1,11 @@
-(** The optimizing-compiler driver: the paper's Figure 1 pipeline.
+(** Deprecated boolean-options facade over {!Pipeline}.
 
-    naive kernel
-    -> vectorization of memory accesses          (Section 3.1)
-    -> coalescing check & conversion             (Sections 3.2-3.3)
-    -> data-sharing analysis                     (Section 3.4)
-    -> thread-block merge / thread merge         (Section 3.5)
-    -> partition-camping elimination             (Section 3.7)
-    -> data prefetching                          (Section 3.6)
-    -> optimized kernel + launch configuration
-
-    Merge selection implements Section 3.5.3: sharing caused by a
-    global-to-shared access prefers thread-block merge (shared-memory
-    reuse); sharing caused by a global-to-register access prefers thread
-    merge (register reuse); and blocks that end up with too few threads
-    are grown by thread-block merge even without sharing.
-
-    Note on ordering: the paper runs prefetching before partition-camping
-    elimination; we run camping elimination first because the 1-D
-    address-offset rotation introduces a computed index that prefetching
-    must not advance past the array end. Prefetching decisions are
-    unaffected (its occupancy rule fires on register pressure, which the
-    rotation does not change). *)
-
-open Gpcc_ast
-open Gpcc_passes
+    The driver itself lives in {!Pipeline}: first-class pass records
+    ({!Gpcc_passes.Pass}), a declarative pipeline value, per-pass remarks
+    and timing, and a memoized analysis manager
+    ({!Gpcc_analysis.Analysis_cache}). This module keeps the original
+    [enable_*] options record compiling as a thin constructor over
+    {!Pipeline.t} — new code should build a {!Pipeline.t} directly. *)
 
 type options = {
   cfg : Gpcc_sim.Config.t;
@@ -50,268 +32,55 @@ let default_options ?(cfg = Gpcc_sim.Config.gtx280) () =
     verify = true;
   }
 
-type step = {
+(** Translate the boolean options into the pass pipeline they denote.
+    [enable_vectorize] covers both Section-3.1 passes; [enable_merge]
+    covers the merge pass and the invariant hoisting that cleans up
+    after it, matching the original driver's gating. *)
+let pipeline_of_options (o : options) : Pipeline.t =
+  let p =
+    Pipeline.default ~cfg:o.cfg ~target_block_threads:o.target_block_threads
+      ~merge_degree:o.merge_degree ~verify:o.verify ()
+  in
+  let off =
+    List.concat
+      [
+        (if o.enable_vectorize then [] else [ "vectorize-wide"; "vectorize" ]);
+        (if o.enable_coalesce then [] else [ "coalesce" ]);
+        (if o.enable_merge then [] else [ "merge"; "licm" ]);
+        (if o.enable_partition then [] else [ "partition-camping" ]);
+        (if o.enable_prefetch then [] else [ "prefetch" ]);
+      ]
+  in
+  Pipeline.disable off p
+
+type step = Pipeline.step = {
   step_name : string;
+  pass : string;
   fired : bool;
-  notes : string list;
-  kernel_after : Ast.kernel;
-  launch_after : Ast.launch;
+  remark : Remark.t;
+  kernel_after : Gpcc_ast.Ast.kernel;
+  launch_after : Gpcc_ast.Ast.launch;
   diagnostics : Gpcc_analysis.Verify.diagnostic list;
 }
 
-type result = {
-  kernel : Ast.kernel;
-  launch : Ast.launch;
+type result = Pipeline.result = {
+  kernel : Gpcc_ast.Ast.kernel;
+  launch : Gpcc_ast.Ast.launch;
   steps : step list;
 }
 
-let diagnostics (r : result) : Gpcc_analysis.Verify.diagnostic list =
-  List.concat_map (fun s -> s.diagnostics) r.steps
+exception Compile_error = Pipeline.Compile_error
 
-exception Compile_error of string
+let diagnostics = Pipeline.diagnostics
+let verifier_rejected = Pipeline.verifier_rejected
 
-let validation_prefix = "translation validation"
-
-let verifier_rejected = function
-  | Compile_error m ->
-      String.length m >= String.length validation_prefix
-      && String.sub m 0 (String.length validation_prefix) = validation_prefix
-  | _ -> false
-
-(* [Verify.check] is pure in the kernel + launch, and [Explore] compiles
-   many configurations whose pipelines revisit identical intermediate
-   kernels — memoize per worker domain (a shared table would need a
-   lock) keyed by the printed kernel digest. *)
-let verify_memo : (string, Gpcc_analysis.Verify.diagnostic list) Hashtbl.t
-    Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
-
-let verify_kernel (k : Ast.kernel) (launch : Ast.launch) :
-    Gpcc_analysis.Verify.diagnostic list =
-  let memo = Domain.DLS.get verify_memo in
-  let key = Digest.string (Pp.kernel_to_string ~launch k) in
-  match Hashtbl.find_opt memo key with
-  | Some ds -> ds
-  | None ->
-      let ds = Gpcc_analysis.Verify.check ~launch k in
-      if Hashtbl.length memo > 512 then Hashtbl.reset memo;
-      Hashtbl.add memo key ds;
-      ds
-
-(** Validate a pass result; errors blame [name]. Returns the full
-    diagnostic list (warnings included) for the step record. *)
-let validate (opts : options) name (k : Ast.kernel) (launch : Ast.launch) :
-    Gpcc_analysis.Verify.diagnostic list =
-  if not opts.verify then []
-  else begin
-    let ds = verify_kernel k launch in
-    (match Gpcc_analysis.Verify.errors ds with
-    | [] -> ()
-    | errs ->
-        raise
-          (Compile_error
-             (Printf.sprintf "%s failed after pass %S: %s" validation_prefix
-                name
-                (String.concat "; "
-                   (List.map Gpcc_analysis.Verify.to_string errs)))));
-    ds
-  end
-
-let record opts steps name (o : Pass_util.outcome) =
-  let diagnostics =
-    if o.fired then validate opts name o.kernel o.launch else []
+let run ?opts (naive : Gpcc_ast.Ast.kernel) : result =
+  let pipeline =
+    match opts with
+    | Some o -> pipeline_of_options o
+    | None -> Pipeline.default ()
   in
-  steps :=
-    {
-      step_name = name;
-      fired = o.fired;
-      notes = o.notes;
-      kernel_after = o.kernel;
-      launch_after = o.launch;
-      diagnostics;
-    }
-    :: !steps
+  Pipeline.run ~pipeline naive
 
-(** The merge phase: pick merges per the Section 3.5.3 rules and the
-    Section 4.1 thread-count targets. *)
-let merge_phase (opts : options) (k : Ast.kernel) (launch : Ast.launch)
-    (steps : step list ref) : Ast.kernel * Ast.launch =
-  let sharing = Gpcc_analysis.Sharing.analyze ~launch k in
-  let share_y_g2r =
-    List.exists
-      (fun s -> s.Gpcc_analysis.Sharing.share_y && s.role = Gpcc_analysis.Sharing.G2R)
-      sharing
-  in
-  let share_y_g2s =
-    List.exists
-      (fun s -> s.Gpcc_analysis.Sharing.share_y && s.role = Gpcc_analysis.Sharing.G2S)
-      sharing
-  in
-  let share_x_any =
-    List.exists (fun s -> s.Gpcc_analysis.Sharing.share_x) sharing
-  in
-  let k = ref k and launch = ref launch in
-  (* 1. thread-block merge along X: grow the block toward the target
-     thread count; motivated by G2S X-sharing, and used even without
-     sharing just to have enough threads per block. *)
-  let bm = opts.target_block_threads / max 1 (!launch.block_x * !launch.block_y) in
-  let block_merge_fired =
-    if bm > 1 then begin
-      let o = Merge.block_merge_x !k !launch bm in
-      record opts steps (Printf.sprintf "thread-block merge X x%d" bm) o;
-      k := o.kernel;
-      launch := o.launch;
-      o.fired
-    end
-    else true
-  in
-  (* 2. when block merge was blocked (per-sub-block staging, as in mv) but
-     X-sharing exists, fall back to thread merge along X (register and
-     shared reuse across the merged threads). *)
-  if (not block_merge_fired) && share_x_any then begin
-    let o = Merge.thread_merge Merge.X !k !launch opts.merge_degree in
-    record opts steps
-      (Printf.sprintf "thread merge X x%d (block merge blocked)"
-         opts.merge_degree)
-      o;
-    k := o.kernel;
-    launch := o.launch
-  end;
-  (* 3. Y-direction sharing: G2R prefers thread merge (paper's mm); G2S
-     along Y would prefer a block merge, which our block merge does not
-     implement along Y — thread merge still captures the reuse through
-     replicated stagings, so it is used for both. *)
-  if share_y_g2r || share_y_g2s then begin
-    let o = Merge.thread_merge Merge.Y !k !launch opts.merge_degree in
-    record opts steps (Printf.sprintf "thread merge Y x%d" opts.merge_degree) o;
-    k := o.kernel;
-    launch := o.launch
-  end
-  else if !launch.grid_y = 1 && !launch.grid_x > 1 && block_merge_fired then begin
-    (* 1-D kernels without Y direction: give each thread more work along X
-       (amortizes addressing and loop overhead; registers reused across
-       the merged work items). *)
-    let deg = min opts.merge_degree !launch.grid_x in
-    if deg > 1 then begin
-      let o = Merge.thread_merge Merge.X !k !launch deg in
-      record opts steps (Printf.sprintf "thread merge X x%d (1-D)" deg) o;
-      k := o.kernel;
-      launch := o.launch
-    end
-  end;
-  (!k, !launch)
-
-(** Run the full pipeline on a parsed naive kernel. *)
-let run ?(opts = default_options ()) (naive : Ast.kernel) : result =
-  Typecheck.check naive;
-  let launch =
-    match Pass_util.initial_launch naive with
-    | Some l -> l
-    | None ->
-        raise
-          (Compile_error
-             "cannot derive the thread domain: give an output array or \
-              #pragma gpcc dim __threads_x/__threads_y")
-  in
-  ignore (validate opts "input" naive launch);
-  let steps = ref [] in
-  let k = ref naive and l = ref launch in
-  let apply name enabled f =
-    if enabled then begin
-      let o : Pass_util.outcome = f !k !l in
-      record opts steps name o;
-      k := o.kernel;
-      l := o.launch
-    end
-  in
-  (* AMD targets vectorize aggressively, absorbing neighboring work items
-     into float4/float2 accesses (Section 3.1) before anything else *)
-  if opts.enable_vectorize && opts.cfg.Gpcc_sim.Config.prefer_wide_vectors
-  then begin
-    let width = if !l.grid_x mod 4 = 0 then 4 else 2 in
-    apply "wide vectorization (AMD)" true (Vectorize_wide.apply ~width)
-  end;
-  apply "vectorization" opts.enable_vectorize Vectorize.apply;
-  apply "memory coalescing" opts.enable_coalesce Coalesce.apply;
-  if opts.enable_merge then begin
-    let k', l' = merge_phase opts !k !l steps in
-    k := k';
-    l := l'
-  end;
-  apply "invariant hoisting" opts.enable_merge Licm.apply;
-  apply "partition-camping elimination" opts.enable_partition
-    (Partition_camp.apply ~cfg:opts.cfg);
-  apply "data prefetching" opts.enable_prefetch (Prefetch.apply ~cfg:opts.cfg);
-  (match Typecheck.check_result !k with
-  | Ok () -> ()
-  | Error m -> raise (Compile_error ("internal: optimized kernel ill-typed: " ^ m)));
-  { kernel = !k; launch = !l; steps = List.rev !steps }
-
-(** Cumulative pipeline prefixes, for the paper's Figure 12 (the effect of
-    each optimization step). Returns [(label, kernel, launch)] per stage,
-    starting from the naive kernel with its natural hand-written launch. *)
-let staged ?(cfg = Gpcc_sim.Config.gtx280) ?(target_block_threads = 256)
-    ?(merge_degree = 16) (naive : Ast.kernel) :
-    (string * Ast.kernel * Ast.launch) list =
-  let base = default_options ~cfg () in
-  let base = { base with target_block_threads; merge_degree } in
-  let configs =
-    [
-      ( "naive",
-        {
-          base with
-          enable_vectorize = false;
-          enable_coalesce = false;
-          enable_merge = false;
-          enable_prefetch = false;
-          enable_partition = false;
-        } );
-      ( "+vectorization",
-        {
-          base with
-          enable_coalesce = false;
-          enable_merge = false;
-          enable_prefetch = false;
-          enable_partition = false;
-        } );
-      ( "+coalescing",
-        {
-          base with
-          enable_merge = false;
-          enable_prefetch = false;
-          enable_partition = false;
-        } );
-      ( "+thread/block merge",
-        { base with enable_prefetch = false; enable_partition = false } );
-      ("+prefetching", { base with enable_partition = false });
-      ("+partition camping elim.", base);
-    ]
-  in
-  List.map
-    (fun (label, opts) ->
-      let r = run ~opts naive in
-      (* a stage whose passes all declined leaves the kernel untouched;
-         measure it at the hand-written naive launch, not at the
-         pipeline's internal half-warp starting shape *)
-      let launch =
-        if Ast.equal_kernel r.kernel naive then
-          Option.value (Pass_util.naive_launch naive) ~default:r.launch
-        else r.launch
-      in
-      (label, r.kernel, launch))
-    configs
-
-let report (r : result) : string =
-  let buf = Buffer.create 1024 in
-  List.iter
-    (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "[%s] %s\n" (if s.fired then "*" else " ") s.step_name);
-      List.iter
-        (fun n -> Buffer.add_string buf (Printf.sprintf "      %s\n" n))
-        s.notes)
-    r.steps;
-  Buffer.add_string buf
-    (Printf.sprintf "launch: grid (%d, %d), block (%d, %d)\n" r.launch.grid_x
-       r.launch.grid_y r.launch.block_x r.launch.block_y);
-  Buffer.contents buf
+let staged = Pipeline.staged
+let report = Pipeline.report

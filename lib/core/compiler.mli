@@ -1,8 +1,10 @@
-(** The optimizing-compiler driver: the paper's Figure 1 pipeline.
+(** Deprecated boolean-options facade over {!Pipeline}.
 
-    Input: a parsed naive kernel (one output element per thread, all
-    arrays in global memory). Output: the optimized kernel, the launch
-    configuration, and a per-pass report. *)
+    The driver lives in {!Pipeline}; this module keeps the original
+    [enable_*] options record compiling as a thin constructor over
+    {!Pipeline.t}. New code should build a {!Pipeline.t} (via
+    {!Pipeline.default}, {!Pipeline.disable}, {!Pipeline.with_passes})
+    and call {!Pipeline.run}. *)
 
 type options = {
   cfg : Gpcc_sim.Config.t;  (** target machine description *)
@@ -21,11 +23,21 @@ type options = {
 }
 
 val default_options : ?cfg:Gpcc_sim.Config.t -> unit -> options
+[@@alert
+  deprecated
+    "Build a Pipeline.t instead: Pipeline.default () |> Pipeline.disable \
+     [...] and Pipeline.run ~pipeline."]
 
-type step = {
+val pipeline_of_options : options -> Pipeline.t
+(** The pass pipeline the boolean options denote ([enable_vectorize]
+    covers both Section-3.1 passes; [enable_merge] covers merge and the
+    invariant hoisting that cleans up after it). *)
+
+type step = Pipeline.step = {
   step_name : string;
+  pass : string;
   fired : bool;
-  notes : string list;
+  remark : Remark.t;
   kernel_after : Gpcc_ast.Ast.kernel;
   launch_after : Gpcc_ast.Ast.launch;
   diagnostics : Gpcc_analysis.Verify.diagnostic list;
@@ -33,7 +45,7 @@ type step = {
           fire or [verify] is off; never contains errors — those raise) *)
 }
 
-type result = {
+type result = Pipeline.result = {
   kernel : Gpcc_ast.Ast.kernel;
   launch : Gpcc_ast.Ast.launch;
   steps : step list;
@@ -49,14 +61,13 @@ val diagnostics : result -> Gpcc_analysis.Verify.diagnostic list
     {!Explore} classify verifier-rejected candidates separately. *)
 val verifier_rejected : exn -> bool
 
-(** Run the full pipeline. Raises {!Compile_error} when the thread domain
-    cannot be derived (no output array and no [__threads_x] pragma) or
-    the result fails the internal type check. *)
+(** Run the pipeline the options denote (the full default pipeline when
+    [opts] is omitted). See {!Pipeline.run}. *)
 val run : ?opts:options -> Gpcc_ast.Ast.kernel -> result
 
 (** Cumulative pipeline prefixes, for the paper's Figure 12: one
     [(label, kernel, launch)] per stage, starting from the naive kernel
-    with its natural hand-written launch. *)
+    with its natural hand-written launch. See {!Pipeline.staged}. *)
 val staged :
   ?cfg:Gpcc_sim.Config.t ->
   ?target_block_threads:int ->

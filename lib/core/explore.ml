@@ -24,7 +24,7 @@ open Gpcc_ast
 type candidate = {
   target_block_threads : int;
   merge_degree : int;
-  result : Compiler.result;
+  result : Pipeline.result;
   score : float;  (** measured GFLOPS (higher is better) *)
 }
 
@@ -42,7 +42,7 @@ let default_merge_degrees = [ 1; 4; 8; 16; 32 ]
 type compiled = {
   c_target : int;
   c_degree : int;
-  c_result : Compiler.result;
+  c_result : Pipeline.result;
   c_digest : string;  (** of the printed kernel + launch *)
 }
 
@@ -60,14 +60,11 @@ let search_with_failures ?(cfg = Gpcc_sim.Config.gtx280)
   Pool.with_pool ?jobs (fun pool ->
       (* phase 1: compile every configuration *)
       let compile (target, degree) =
-        let opts =
-          {
-            (Compiler.default_options ~cfg ()) with
-            target_block_threads = target;
-            merge_degree = degree;
-          }
+        let pipeline =
+          Pipeline.default ~cfg ~target_block_threads:target
+            ~merge_degree:degree ()
         in
-        let result = Compiler.run ~opts naive in
+        let result = Pipeline.run ~pipeline naive in
         {
           c_target = target;
           c_degree = degree;
@@ -92,7 +89,7 @@ let search_with_failures ?(cfg = Gpcc_sim.Config.gtx280)
                     failed_target = target;
                     failed_degree = degree;
                     failed_stage =
-                      (if Compiler.verifier_rejected e then `Verify
+                      (if Pipeline.verifier_rejected e then `Verify
                        else `Compile);
                     reason = Printexc.to_string e;
                   }

@@ -13,7 +13,7 @@
 type candidate = {
   target_block_threads : int;
   merge_degree : int;
-  result : Compiler.result;
+  result : Pipeline.result;
   score : float;  (** measured GFLOPS (higher is better) *)
 }
 
@@ -22,7 +22,7 @@ type failure = {
   failed_degree : int;  (** requested thread-merge degree *)
   failed_stage : [ `Compile | `Verify | `Measure ];
       (** [`Verify]: the pipeline ran but translation validation rejected
-          the result (see {!Compiler.verifier_rejected}) *)
+          the result (see {!Pipeline.verifier_rejected}) *)
   reason : string;  (** printed exception *)
 }
 

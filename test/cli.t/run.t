@@ -81,3 +81,37 @@ A missing barrier is an error and a non-zero exit:
 
   $ gpcc lint --json racy.cu | head -c 64
   {"schema":"gpcc-lint-v1","errors":1,"warnings":0,"results":[{"ke
+
+The pass manager is introspectable: --print-pipeline lists every
+registered pass with its paper section and declared analysis
+dependencies, without compiling anything:
+
+  $ gpcc compile --print-pipeline -t 64 -m 4 mm.cu | head -3
+  pipeline for GTX280: 64 threads/block target, 4-way thread merge, verify on
+    [x] vectorize-wide     §3.1      absorb neighboring work items into float2/float4 accesses (AMD-style aggressive vectorization)
+        uses: -                            invalidates: affine,sharing,coalesce,regcount,verify
+
+Structured per-pass remarks as one JSON document (timings vary, so only
+the stable fields are checked):
+
+  $ gpcc compile --remarks-json -t 64 -m 4 mm.cu | grep -o '"pass":"[a-z-]*"' | sort | uniq -c | sed 's/^ *//'
+  1 "pass":"coalesce"
+  1 "pass":"licm"
+  2 "pass":"merge"
+  1 "pass":"partition-camping"
+  1 "pass":"prefetch"
+  1 "pass":"vectorize"
+  1 "pass":"vectorize-wide"
+  $ gpcc compile --remarks-json -t 64 -m 4 mm.cu | grep -c '"schema":"gpcc-remarks-v1"'
+  1
+
+The pipeline can be cut down per run; unknown pass names are rejected
+with the registry listed:
+
+  $ gpcc compile --passes coalesce -t 64 -m 4 mm.cu | head -3
+  #pragma gpcc dim w 64
+  #pragma gpcc output c
+  /* launch: grid (4, 64), block (16, 1) */
+  $ gpcc compile --disable-pass nope mm.cu
+  error: unknown pass "nope" (known: vectorize-wide, vectorize, coalesce, merge, licm, partition-camping, prefetch)
+  [1]

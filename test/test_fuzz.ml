@@ -111,15 +111,13 @@ let pipeline_preserves =
       in
       let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
       let want, _ = run_full k launch inputs "out" in
-      let opts =
-        {
-          (Gpcc_core.Compiler.default_options ~cfg:cfg280 ()) with
-          target_block_threads = target;
-          merge_degree = degree;
-          enable_vectorize = vec;
-        }
+      let pipeline =
+        Gpcc_core.Pipeline.disable
+          (if vec then [] else [ "vectorize-wide"; "vectorize" ])
+          (Gpcc_core.Pipeline.default ~cfg:cfg280
+             ~target_block_threads:target ~merge_degree:degree ())
       in
-      match Gpcc_core.Compiler.run ~opts k with
+      match Gpcc_core.Pipeline.run ~pipeline k with
       | r -> (
           match run_full r.kernel r.launch inputs "out" with
           | got, _ ->
@@ -132,7 +130,7 @@ let pipeline_preserves =
               QCheck.Test.fail_reportf "optimized kernel crashed: %s\n%s"
                 (Printexc.to_string e)
                 (Gpcc_ast.Pp.kernel_to_string ~launch:r.launch r.kernel))
-      | exception Gpcc_core.Compiler.Compile_error m ->
+      | exception Gpcc_core.Pipeline.Compile_error m ->
           QCheck.Test.fail_reportf "compile error: %s" m)
 
 let pipeline_preserves_8800 =
@@ -143,15 +141,13 @@ let pipeline_preserves_8800 =
       let k = parse_kernel src in
       let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
       let want, _ = run_full ~cfg:cfg8800 k launch inputs "out" in
-      let opts =
-        {
-          (Gpcc_core.Compiler.default_options ~cfg:cfg8800 ()) with
-          target_block_threads = target;
-          merge_degree = degree;
-          enable_vectorize = vec;
-        }
+      let pipeline =
+        Gpcc_core.Pipeline.disable
+          (if vec then [] else [ "vectorize-wide"; "vectorize" ])
+          (Gpcc_core.Pipeline.default ~cfg:cfg8800
+             ~target_block_threads:target ~merge_degree:degree ())
       in
-      let r = Gpcc_core.Compiler.run ~opts k in
+      let r = Gpcc_core.Pipeline.run ~pipeline k in
       let got, _ = run_full ~cfg:cfg8800 r.kernel r.launch inputs "out" in
       floats_close ~eps:1e-3 got want)
 
@@ -164,16 +160,14 @@ let pipeline_verifies_clean =
     (fun (spec, (target, degree, vec)) ->
       let module V = Gpcc_analysis.Verify in
       let k = parse_kernel (source_of_spec spec) in
-      let opts =
-        {
-          (Gpcc_core.Compiler.default_options ~cfg:cfg280 ()) with
-          target_block_threads = target;
-          merge_degree = degree;
-          enable_vectorize = vec;
-          verify = false;
-        }
+      let pipeline =
+        Gpcc_core.Pipeline.disable
+          (if vec then [] else [ "vectorize-wide"; "vectorize" ])
+          (Gpcc_core.Pipeline.default ~cfg:cfg280
+             ~target_block_threads:target ~merge_degree:degree ~verify:false
+             ())
       in
-      let r = Gpcc_core.Compiler.run ~opts k in
+      let r = Gpcc_core.Pipeline.run ~pipeline k in
       match V.errors (V.check ~launch:r.launch r.kernel) with
       | [] -> true
       | errs ->

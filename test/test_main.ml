@@ -14,5 +14,6 @@ let () =
       Test_workloads.suite;
       Test_explore.suite;
       Test_compiler.suite;
+      Test_pipeline.suite;
       Test_fuzz.suite;
     ]

@@ -480,15 +480,10 @@ let test_rd_complex_without_vectorization () =
   let w = Gpcc_workloads.Registry.find_exn "rd-complex" in
   let n = 16384 in
   let k = Gpcc_workloads.Workload.parse w n in
-  let opts =
-    {
-      (Gpcc_core.Compiler.default_options ~cfg:cfg280 ()) with
-      target_block_threads = 128;
-      merge_degree = 4;
-      enable_vectorize = false;
-    }
+  let r =
+    compile ~cfg:cfg280 ~target:128 ~degree:4
+      ~disable:[ "vectorize-wide"; "vectorize" ] k
   in
-  let r = Gpcc_core.Compiler.run ~opts k in
   Gpcc_workloads.Workload.check cfg280 w n r.kernel r.launch
 
 let suite =
@@ -539,7 +534,7 @@ let test_hd5870_pipeline () =
   Gpcc_workloads.Workload.check amd w n r.kernel r.launch;
   Alcotest.(check bool) "wide step fired" true
     (List.exists
-       (fun (s : Gpcc_core.Compiler.step) ->
+       (fun (s : Gpcc_core.Pipeline.step) ->
          s.fired && s.step_name = "wide vectorization (AMD)")
        r.steps);
   (* a non-element-wise kernel still compiles correctly on the AMD target *)

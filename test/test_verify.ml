@@ -255,10 +255,11 @@ let test_step_diagnostics_recorded () =
        (fun (s : Gpcc_core.Compiler.step) -> V.errors s.diagnostics = [])
        r.steps);
   (* disabling verification yields empty diagnostics *)
-  let opts =
-    { (Gpcc_core.Compiler.default_options ()) with verify = false }
+  let r' =
+    Gpcc_core.Pipeline.run
+      ~pipeline:(Gpcc_core.Pipeline.default ~verify:false ())
+      k
   in
-  let r' = Gpcc_core.Compiler.run ~opts k in
   Alcotest.(check int)
     "verify:false records no diagnostics" 0
     (List.length (Gpcc_core.Compiler.diagnostics r'))

@@ -49,16 +49,16 @@ let check_floats ?eps msg want got =
       | [] -> "length")
   end
 
-(** Compile a naive kernel with the given knobs. *)
-let compile ?(cfg = cfg280) ?(target = 128) ?(degree = 4) k =
-  let opts =
-    {
-      (Gpcc_core.Compiler.default_options ~cfg ()) with
-      target_block_threads = target;
-      merge_degree = degree;
-    }
+(** Compile a naive kernel with the given knobs. [disable] names
+    registry passes to leave out. *)
+let compile ?(cfg = cfg280) ?(target = 128) ?(degree = 4) ?(disable = [])
+    ?(verify = true) k =
+  let pipeline =
+    Gpcc_core.Pipeline.disable disable
+      (Gpcc_core.Pipeline.default ~cfg ~target_block_threads:target
+         ~merge_degree:degree ~verify ())
   in
-  Gpcc_core.Compiler.run ~opts k
+  Gpcc_core.Pipeline.run ~pipeline k
 
 (** Check one workload's optimized kernel against its CPU reference. *)
 let check_workload ?(cfg = cfg280) ?target ?degree name n =
@@ -69,10 +69,10 @@ let check_workload ?(cfg = cfg280) ?target ?degree name n =
   r
 
 (** Body of the step named [name] in a compile result. *)
-let step_after (r : Gpcc_core.Compiler.result) name =
+let step_after (r : Gpcc_core.Pipeline.result) name =
   match
     List.find_opt
-      (fun (s : Gpcc_core.Compiler.step) -> String.equal s.step_name name)
+      (fun (s : Gpcc_core.Pipeline.step) -> String.equal s.step_name name)
       r.steps
   with
   | Some s -> s
