@@ -688,6 +688,61 @@ let ablations () =
   note "each row isolates one mechanism: bank-conflict padding, the hardware coalescing rule, prefetch double-buffering, and the Section-4 empirical search"
 
 (* ------------------------------------------------------------------ *)
+(* Simulator-backend microbenchmark: compiled vs reference             *)
+(* ------------------------------------------------------------------ *)
+
+(** Blocks simulated per second, per workload, for the closure-compiled
+    backend vs the tree-walking reference interpreter. Naive kernels at
+    [test_size], full grid, serial execution in both backends so the
+    measurement isolates the interpreter itself, compile cache warm. *)
+let interp () =
+  section "Interpreter backends: blocks/s, compiled vs reference (naive, serial)";
+  let module L = Gpcc_sim.Launch in
+  Printf.printf "  %-14s %8s | %12s %12s %9s\n" "workload" "blocks"
+    "compiled" "reference" "speedup";
+  List.iter
+    (fun (w : Workload.t) ->
+      let n = w.test_size in
+      let k = Workload.parse w n in
+      let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+      let nblocks = Gpcc_ast.Ast.total_blocks launch in
+      let run backend =
+        let mem = Gpcc_sim.Devmem.of_kernel k in
+        List.iter
+          (fun (name, d) -> Gpcc_sim.Devmem.write mem name d)
+          (w.inputs n);
+        ignore (L.run ~mode:L.Full ~backend ~jobs:1 gtx280 k launch mem)
+      in
+      (* warm both paths (and the compile cache) before timing *)
+      run L.Compiled;
+      run L.Reference;
+      let blocks_per_s backend =
+        let budget = if fast then 0.2 else 0.5 in
+        let reps = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        while Unix.gettimeofday () -. t0 < budget || !reps = 0 do
+          run backend;
+          incr reps
+        done;
+        float_of_int (!reps * nblocks) /. (Unix.gettimeofday () -. t0)
+      in
+      let bc = blocks_per_s L.Compiled in
+      let br = blocks_per_s L.Reference in
+      let speedup = bc /. Float.max 1e-9 br in
+      Record.add
+        [
+          ("workload", Json_out.Str w.name);
+          ("size", Json_out.Int n);
+          ("blocks", Json_out.Int nblocks);
+          ("blocks_per_s_compiled", Json_out.Float bc);
+          ("blocks_per_s_reference", Json_out.Float br);
+          ("speedup", Json_out.Float speedup);
+        ];
+      Printf.printf "  %-14s %8d | %12.0f %12.0f %8.2fx\n%!" w.name nblocks
+        bc br speedup)
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* Beyond the paper's evaluation: the AMD target it sketches in 3.1     *)
 (* ------------------------------------------------------------------ *)
 
@@ -741,14 +796,14 @@ let sections =
     ("table1", table1); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
     ("fig17_fft", fig17_fft); ("ablations", ablations);
-    ("amd_vectors", amd_vectors); ("bechamel", bechamel);
+    ("interp", interp); ("amd_vectors", amd_vectors); ("bechamel", bechamel);
   ]
 
 (** Write BENCH_<section>.json: rows recorded by the section, the wall
     clock, the worker-pool size and the exploration-cache traffic (hit
     and miss deltas over this section). *)
-let emit_json ~name ~wall_s ~hits ~misses ~analysis_hits ~analysis_misses
-    ~rows =
+let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
+    ~analysis_misses ~rows =
   let cache_fields =
     (if Lazy.is_val explore_cache then
        let c = Lazy.force explore_cache in
@@ -785,7 +840,12 @@ let emit_json ~name ~wall_s ~hits ~misses ~analysis_hits ~analysis_misses
          ("section", Json_out.Str name);
          ("mode", Json_out.Str (if fast then "fast" else "full"));
          ("jobs", Json_out.Int !jobs);
+         ( "interp_backend",
+           Json_out.Str
+             (Gpcc_sim.Launch.backend_name (Gpcc_sim.Launch.backend_of_env ()))
+         );
          ("wall_clock_s", Json_out.Float wall_s);
+         ("sim_wall_clock_s", Json_out.Float sim_s);
          ("cache", Json_out.Obj cache_fields);
          ("pass_timings", Json_out.List pass_timings);
          ("workloads", Json_out.List rows);
@@ -831,11 +891,14 @@ let () =
           let hits0, misses0 = cache_traffic () in
           let ahits0 = Gpcc_analysis.Analysis_cache.global_hits ()
           and amisses0 = Gpcc_analysis.Analysis_cache.global_misses () in
+          let sim0 = Gpcc_sim.Launch.sim_seconds () in
           let t0 = Unix.gettimeofday () in
           let finish () =
             let wall_s = Unix.gettimeofday () -. t0 in
             let hits1, misses1 = cache_traffic () in
-            emit_json ~name ~wall_s ~hits:(hits1 - hits0)
+            emit_json ~name ~wall_s
+              ~sim_s:(Gpcc_sim.Launch.sim_seconds () -. sim0)
+              ~hits:(hits1 - hits0)
               ~misses:(misses1 - misses0)
               ~analysis_hits:(Gpcc_analysis.Analysis_cache.global_hits () - ahits0)
               ~analysis_misses:

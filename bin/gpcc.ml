@@ -448,8 +448,22 @@ let list_cmd =
 
 let () =
   let doc = "an optimizing compiler for naive GPGPU kernels (PLDI 2010 reproduction)" in
+  let man =
+    [
+      `S Manpage.s_environment;
+      `P "$(b,GPCC_INTERP) — simulator backend: $(b,compiled) (default) \
+          stages each kernel into OCaml closures once per launch; \
+          $(b,ref) selects the tree-walking reference interpreter.";
+      `P "$(b,GPCC_JOBS) — worker domains for the design-space sweep and \
+          parallel grid execution (default: recommended domain count).";
+      `P "$(b,GPCC_CHECK) — enable the dynamic race checker (forces the \
+          serial reference backend).";
+      `P "$(b,GPCC_CACHE_DIR) — persistent result-cache directory for \
+          design-space exploration.";
+    ]
+  in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "gpcc" ~version:"1.0.0" ~doc)
+       (Cmd.group (Cmd.info "gpcc" ~version:"1.0.0" ~doc ~man)
           [ compile_cmd; check_cmd; explore_cmd; lint_cmd; deploy_cmd; bench_cmd;
             list_cmd ]))

@@ -145,9 +145,93 @@ let regcount (t : t) (k : Ast.kernel) : int * int =
   find t t.regcount (kernel_key k) (fun () ->
       (Regcount.estimate k, Regcount.shared_bytes k))
 
+(* --- persistent verifier-verdict store ------------------------------ *)
+(* Verification dominates warm design-space sweeps: measured scores are
+   served from the on-disk exploration cache, but every candidate was
+   still re-verified from scratch on every run. A verdict is a pure
+   function of the printed kernel at the launch, so it persists across
+   processes exactly like a score: one marshalled file per verdict under
+   <GPCC_CACHE_DIR|_gpcc_cache>/verify, named by the digest and storing
+   the full kernel text as a collision guard. Any read or write failure
+   degrades to recomputation. *)
+
+let verify_format = "gpcc-verify-v1"
+
+let verify_disk_dir =
+  lazy
+    (let root =
+       match Sys.getenv_opt "GPCC_CACHE_DIR" with
+       | Some d when String.trim d <> "" -> d
+       | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
+     in
+     Filename.concat root "verify")
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let verify_disk_read (path : string) (full : string) :
+    Verify.diagnostic list option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            (Marshal.from_channel ic
+              : string * string * Verify.diagnostic list)
+          with
+          | v, stored, ds when v = verify_format && String.equal stored full
+            ->
+              Some ds
+          | _ -> None
+          | exception _ -> None)
+
+let verify_tmp_seq = Atomic.make 0
+
+let verify_disk_write (path : string) (full : string)
+    (ds : Verify.diagnostic list) : unit =
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path
+        (Domain.self () :> int)
+        (Atomic.fetch_and_add verify_tmp_seq 1)
+    in
+    let oc = open_out_bin tmp in
+    (try
+       Marshal.to_channel oc (verify_format, full, ds) [];
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    try Sys.rename tmp path
+    with Sys_error _ -> (
+      (* racing writer won; the values are equal *)
+      try Sys.remove tmp with Sys_error _ -> ())
+  with Sys_error _ -> ()
+
 let verify (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
     Verify.diagnostic list =
-  find t t.verify (key k launch) (fun () -> Verify.check ~launch k)
+  let full = Pp.kernel_to_string ~launch k in
+  let dk = Digest.string full in
+  find t t.verify dk (fun () ->
+      let path =
+        Filename.concat
+          (Lazy.force verify_disk_dir)
+          (Digest.to_hex dk ^ ".verdict")
+      in
+      match verify_disk_read path full with
+      | Some ds -> ds
+      | None ->
+          let ds = Verify.check ~launch k in
+          verify_disk_write path full ds;
+          ds)
 
 (* Copy one slot's cached value from the old key to the new key (no
    hit/miss accounting: this is bookkeeping, not a lookup). *)

@@ -1,111 +1,10 @@
-(** Fixed pool of worker domains over a shared task queue. See the mli
-    for the contract. *)
+(** Re-export of {!Gpcc_util.Pool}.
 
-type task = unit -> unit
+    The pool lives in [gpcc.util] so that layers below core (notably
+    [gpcc.sim], which parallelizes grid execution in {!Gpcc_sim.Launch})
+    can share the same worker-domain pool without a dependency cycle.
+    This alias keeps the historical [Gpcc_core.Pool] path working; the
+    types are equal, so pools can be passed freely across the two
+    names. *)
 
-type t = {
-  queue : task Queue.t;
-  mutex : Mutex.t;
-  wake : Condition.t;  (** signalled when a task is queued or at shutdown *)
-  mutable stopping : bool;
-  mutable workers : unit Domain.t list;
-}
-
-let default_jobs () =
-  match Sys.getenv_opt "GPCC_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
-
-let rec worker_loop (p : t) : unit =
-  Mutex.lock p.mutex;
-  while Queue.is_empty p.queue && not p.stopping do
-    Condition.wait p.wake p.mutex
-  done;
-  if Queue.is_empty p.queue then begin
-    (* stopping and drained *)
-    Mutex.unlock p.mutex
-  end
-  else begin
-    let task = Queue.pop p.queue in
-    Mutex.unlock p.mutex;
-    (* tasks are wrapped by [map_result]: they never raise *)
-    task ();
-    worker_loop p
-  end
-
-let create ?jobs () : t =
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let p =
-    {
-      queue = Queue.create ();
-      mutex = Mutex.create ();
-      wake = Condition.create ();
-      stopping = false;
-      workers = [];
-    }
-  in
-  if jobs > 1 then
-    p.workers <-
-      List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop p));
-  p
-
-let size (p : t) = List.length p.workers
-
-let shutdown (p : t) : unit =
-  Mutex.lock p.mutex;
-  p.stopping <- true;
-  Condition.broadcast p.wake;
-  Mutex.unlock p.mutex;
-  List.iter Domain.join p.workers;
-  p.workers <- []
-
-let with_pool ?jobs (f : t -> 'a) : 'a =
-  let p = create ?jobs () in
-  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
-
-(** Run every element through [f] on the workers, collecting [Ok]/[Error]
-    per element. The caller blocks until the batch drains; with no
-    workers (sequential pool) the caller runs the tasks itself. *)
-let map_result (p : t) (f : 'a -> 'b) (xs : 'a list) :
-    ('b, exn) result list =
-  match (xs, p.workers) with
-  | [], _ -> []
-  | xs, [] -> List.map (fun x -> try Ok (f x) with e -> Error e) xs
-  | xs, _ ->
-      let inputs = Array.of_list xs in
-      let n = Array.length inputs in
-      let out : ('b, exn) result option array = Array.make n None in
-      let remaining = Atomic.make n in
-      let done_mutex = Mutex.create () in
-      let done_cond = Condition.create () in
-      Mutex.lock p.mutex;
-      for i = 0 to n - 1 do
-        Queue.add
-          (fun () ->
-            let r = try Ok (f inputs.(i)) with e -> Error e in
-            out.(i) <- Some r;
-            if Atomic.fetch_and_add remaining (-1) = 1 then begin
-              Mutex.lock done_mutex;
-              Condition.signal done_cond;
-              Mutex.unlock done_mutex
-            end)
-          p.queue
-      done;
-      Condition.broadcast p.wake;
-      Mutex.unlock p.mutex;
-      Mutex.lock done_mutex;
-      while Atomic.get remaining > 0 do
-        Condition.wait done_cond done_mutex
-      done;
-      Mutex.unlock done_mutex;
-      Array.to_list (Array.map Option.get out)
-
-let map (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
-  let results = map_result p f xs in
-  List.map (function Ok y -> y | Error e -> raise e) results
-
-let run ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
-  with_pool ?jobs (fun p -> map_result p f xs)
+include Gpcc_util.Pool

@@ -44,50 +44,52 @@ let global_request (rules : Config.coalesce_rules) ~(min_tx : int)
             addrs
     | Config.Relaxed_gt200 ->
         (* one transaction per distinct aligned segment; segment size is
-           the smallest of 32/64/128 bytes covering the lanes in it *)
+           the smallest of 32/64/128 bytes covering the lanes in it. A
+           half warp touches at most 16 segments (usually 1 or 2), so a
+           small association list in first-touch order — the order the
+           lanes issue them — beats hashing *)
         let seg = max 32 seg_bytes in
-        let tbl = Hashtbl.create 8 in
+        let segs = ref [] in
         List.iter
           (fun (_, a) ->
             let s = a / seg * seg in
-            let lo, hi =
-              match Hashtbl.find_opt tbl s with
-              | Some (lo, hi) -> (min lo a, max hi (a + elt_bytes))
-              | None -> (a, a + elt_bytes)
-            in
-            Hashtbl.replace tbl s (lo, hi))
+            match List.find_opt (fun (s', _, _) -> s' = s) !segs with
+            | Some (_, lo, hi) ->
+                lo := min !lo a;
+                hi := max !hi (a + elt_bytes)
+            | None -> segs := (s, ref a, ref (a + elt_bytes)) :: !segs)
           addrs;
-        Hashtbl.fold
-          (fun _s (lo, hi) acc ->
+        List.rev_map
+          (fun (_s, lo, hi) ->
             (* shrink to the smallest aligned power-of-two region >= 32B *)
-            let hi' = hi - 1 in
+            let lo = !lo and hi' = !hi - 1 in
             let rec shrink size =
               let half = size / 2 in
               if half >= 32 && lo / half = hi' / half then shrink half
               else size
             in
             let size = shrink seg in
-            { tx_addr = lo / size * size; tx_bytes = size } :: acc)
-          tbl []
+            { tx_addr = lo / size * size; tx_bytes = size })
+          !segs
 
 (** Cost in serialized cycles of one half-warp shared-memory request.
     [word_addrs] are the 4-byte word indices accessed by active lanes. *)
 let shared_request ~(banks : int) (word_addrs : int list) : int =
   if word_addrs = [] then 0
   else begin
-    let per_bank = Hashtbl.create banks in
-    List.iter
-      (fun w ->
-        let b = ((w mod banks) + banks) mod banks in
-        let set =
-          match Hashtbl.find_opt per_bank b with
-          | Some s -> s
-          | None ->
-              let s = ref [] in
-              Hashtbl.replace per_bank b s;
-              s
-        in
-        if not (List.mem w !set) then set := w :: !set)
-      word_addrs;
-    Hashtbl.fold (fun _ s acc -> max acc (List.length !s)) per_bank 1
+    (* at most 16 lanes per request: count distinct words per bank with
+       a quadratic dedup scan instead of per-request hash tables *)
+    let counts = Array.make banks 0 in
+    let rec go seen = function
+      | [] -> ()
+      | w :: tl ->
+          if List.mem w seen then go seen tl
+          else begin
+            let b = ((w mod banks) + banks) mod banks in
+            counts.(b) <- counts.(b) + 1;
+            go (w :: seen) tl
+          end
+    in
+    go [] word_addrs;
+    Array.fold_left max 1 counts
   end

@@ -1,0 +1,1516 @@
+(** Compile-to-closures simulator backend.
+
+    The tree-walking interpreter ({!Interp}) re-dispatches on the AST and
+    resolves every variable through a [Hashtbl] per statement per block.
+    This module stages that work: once per (kernel, launch) pair it
+
+    - resolves every scalar variable to a fixed slot index in a flat
+      environment array (per declaration site — sound because the type
+      checker enforces strict lexical scoping with no shadowing),
+    - specializes each statement and expression node into an OCaml
+      closure over a per-block runtime record, and
+    - classifies lane-invariant (uniform) subexpressions — literals,
+      [#pragma gpcc dim]-bound int parameters, block-level builtins and
+      loop variables with uniform bounds — so they evaluate as scalars
+      fused into the per-lane loops instead of broadcast arrays.
+
+    The compiled code is bit-identical to the reference interpreter in
+    both output arrays and {!Stats}: per-lane float operations are the
+    same operations on the same values, exact-integer statistics are
+    order-insensitive sums, and the only inexact accumulator
+    ([cost_bytes]) is fed through the shared {!Interp.account_global} /
+    {!Interp.account_shared} in the same evaluation order (left to
+    right, matching the sequenced reference).
+
+    Kernels using unsupported or ill-typed shapes fail compilation with
+    {!Unsupported}; the caller (|Launch|) falls back to the reference
+    backend, which reproduces the interpreter's runtime errors. *)
+
+open Gpcc_ast
+open Gpcc_analysis
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(** Split the kernel body at top-level [__global_sync] barriers.
+    (Authoritative copy; {!Launch.phases_of_body} aliases this.) *)
+let phases_of_body (body : Ast.block) : Ast.block list =
+  let rec go cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | Ast.Global_sync :: rest -> go [] (List.rev cur :: acc) rest
+    | s :: rest -> go (s :: cur) acc rest
+  in
+  go [] [] body
+
+(* --- per-block runtime state --- *)
+
+type rt = {
+  c : Interp.bctx;  (** stats, config, launch, tids, txparts *)
+  slots : Interp.vals array;  (** varying scalars, one slot per decl site *)
+  shareds : float array array;  (** shared arrays, one slot per name *)
+  globals : Devmem.arr array;  (** resolved global parameters *)
+  uregs : int array;  (** uniform int registers (loop variables) *)
+  idx : int array;  (** per-lane [idx] values, [||] unless used *)
+  idy : int array;
+}
+
+(* --- compiled expressions ---
+
+   Two channels: [U*] closures produce one scalar shared by every active
+   lane (uniform); [X*] closures produce per-lane arrays indexed by the
+   linear thread id. Both receive the active mask because statistics
+   (flop counts, memory accounting) are per active lane. *)
+
+type cexpr =
+  | UI of (rt -> int array -> int)
+  | UF of (rt -> int array -> float)
+  | UB of (rt -> int array -> bool)
+  | XI of (rt -> int array -> int array)
+  | XF of (rt -> int array -> float array)
+  | XB of (rt -> int array -> bool array)
+  | XF2 of (rt -> int array -> float array * float array)
+  | XF4 of
+      (rt -> int array -> float array * float array * float array * float array)
+
+type cstmt = rt -> int array -> unit
+
+(* --- compile-time environment --- *)
+
+module Smap = Map.Make (String)
+
+type binding =
+  | Bscalar of int * Ast.scalar  (** slot, declared type *)
+  | Bloop_u of int  (** uniform loop variable: register index *)
+  | Bloop_v of int  (** varying loop variable: slot holding a [VI] *)
+  | Bshared of int * int array * int  (** slot, strides, padded length *)
+  | Bglobal of int * int array * string  (** slot, expected strides, name *)
+  | Bconst of int  (** [k_sizes]-bound int parameter *)
+
+type cstate = {
+  mutable nslots : int;
+  mutable nuregs : int;
+  mutable shared_specs : (string * Layout.t * int * int) list;
+      (** name, layout, padded length, slot — keyed by name like the
+          reference interpreter's environment *)
+  mutable global_params : (string * int array) list;  (** slot order *)
+  mutable uses_idx : bool;
+  mutable uses_idy : bool;
+  cn : int;  (** threads per block *)
+  claunch : Ast.launch;
+}
+
+let fresh_slot st =
+  let s = st.nslots in
+  st.nslots <- s + 1;
+  s
+
+let fresh_ureg st =
+  let r = st.nuregs in
+  st.nuregs <- r + 1;
+  r
+
+(* --- runtime helpers --- *)
+
+let slot_vi rt s =
+  match rt.slots.(s) with
+  | Interp.VI a -> a
+  | _ -> invalid_arg "Compile: int slot"
+
+let slot_vf rt s =
+  match rt.slots.(s) with
+  | Interp.VF a -> a
+  | _ -> invalid_arg "Compile: float slot"
+
+let slot_vb rt s =
+  match rt.slots.(s) with
+  | Interp.VB a -> a
+  | _ -> invalid_arg "Compile: bool slot"
+
+let slot_vf2 rt s =
+  match rt.slots.(s) with
+  | Interp.VF2 (x, y) -> (x, y)
+  | _ -> invalid_arg "Compile: float2 slot"
+
+let slot_vf4 rt s =
+  match rt.slots.(s) with
+  | Interp.VF4 (x, y, z, w) -> (x, y, z, w)
+  | _ -> invalid_arg "Compile: float4 slot"
+
+let inst rt = Interp.inst rt.c
+let flops rt k = Interp.flops rt.c k
+
+(* Evaluated operand views: a scalar, a typed array, or a fused
+   conversion from an int/bool array — reading per lane avoids the
+   coercion arrays the reference interpreter allocates. *)
+
+type fget = FS of float | FA of float array | FI of int array
+
+let fread g l =
+  match g with FS v -> v | FA a -> a.(l) | FI a -> float_of_int a.(l)
+
+type iget = IS of int | IA of int array | IBA of bool array
+
+let iread g l =
+  match g with
+  | IS v -> v
+  | IA a -> a.(l)
+  | IBA a -> if a.(l) then 1 else 0
+
+type bget = BS of bool | BA of bool array | BIA of int array
+
+let bread g l =
+  match g with BS v -> v | BA a -> a.(l) | BIA a -> a.(l) <> 0
+
+(** Float view of an operand ([as_float] semantics: int promotes, bool
+    and vectors are runtime errors — compile-time fallback here). *)
+let fsrc = function
+  | UI f -> fun rt m -> FS (float_of_int (f rt m))
+  | UF f -> fun rt m -> FS (f rt m)
+  | XI f -> fun rt m -> FI (f rt m)
+  | XF f -> fun rt m -> FA (f rt m)
+  | UB _ | XB _ | XF2 _ | XF4 _ -> unsupported "expected a float value"
+
+(** Int view ([as_int] semantics: bool converts, float is an error). *)
+let isrc = function
+  | UI f -> fun rt m -> IS (f rt m)
+  | UB f -> fun rt m -> IS (if f rt m then 1 else 0)
+  | XI f -> fun rt m -> IA (f rt m)
+  | XB f -> fun rt m -> IBA (f rt m)
+  | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected an int value"
+
+(** Bool view ([as_bool] semantics: int converts, float is an error). *)
+let bsrc = function
+  | UB f -> fun rt m -> BS (f rt m)
+  | UI f -> fun rt m -> BS (f rt m <> 0)
+  | XB f -> fun rt m -> BA (f rt m)
+  | XI f -> fun rt m -> BIA (f rt m)
+  | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected a boolean value"
+
+let is_uniform = function
+  | UI _ | UF _ | UB _ -> true
+  | XI _ | XF _ | XB _ | XF2 _ | XF4 _ -> false
+
+(* --- expression compilation --- *)
+
+let rec comp_e (st : cstate) (env : binding Smap.t) (e : Ast.expr) : cexpr =
+  match e with
+  | Int_lit k -> UI (fun _ _ -> k)
+  | Float_lit f -> UF (fun _ _ -> f)
+  | Builtin b -> comp_builtin st b
+  | Var v -> (
+      match Smap.find_opt v env with
+      | None -> unsupported "unbound variable %s" v
+      | Some (Bconst k) -> UI (fun _ _ -> k)
+      | Some (Bloop_u r) -> UI (fun rt _ -> rt.uregs.(r))
+      | Some (Bloop_v s) -> XI (fun rt _ -> slot_vi rt s)
+      | Some (Bscalar (s, Int)) -> XI (fun rt _ -> slot_vi rt s)
+      | Some (Bscalar (s, Float)) -> XF (fun rt _ -> slot_vf rt s)
+      | Some (Bscalar (s, Bool)) -> XB (fun rt _ -> slot_vb rt s)
+      | Some (Bscalar (s, Float2)) -> XF2 (fun rt _ -> slot_vf2 rt s)
+      | Some (Bscalar (s, Float4)) -> XF4 (fun rt _ -> slot_vf4 rt s)
+      | Some (Bshared _ | Bglobal _) -> unsupported "array %s used as scalar" v)
+  | Unop (Neg, a) -> comp_neg st env a
+  | Unop (Not, a) ->
+      let ce = comp_e st env a in
+      let f = bsrc ce in
+      if is_uniform ce then
+        UB
+          (fun rt m ->
+            inst rt;
+            not (bread (f rt m) 0))
+      else
+        XB
+          (fun rt m ->
+            inst rt;
+            let g = f rt m in
+            let out = Array.make rt.c.Interp.n false in
+            Array.iter (fun l -> out.(l) <- not (bread g l)) m;
+            out)
+  | Binop (op, a, b) -> comp_binop st env op a b
+  | Index (arr, idxs) -> comp_load st env arr idxs
+  | Vload { v_arr; v_width; v_index } -> comp_vload st env v_arr v_width v_index
+  | Field (a, f) -> comp_field st env a f
+  | Call (f, args) -> comp_call st env f args
+  | Select (cond, a, b) -> comp_select st env cond a b
+
+and comp_builtin st (b : Ast.builtin) : cexpr =
+  let l = st.claunch in
+  match b with
+  | Tidx -> XI (fun rt _ -> rt.c.Interp.tidx)
+  | Tidy -> XI (fun rt _ -> rt.c.Interp.tidy)
+  | Bidx -> UI (fun rt _ -> rt.c.Interp.bidx)
+  | Bidy -> UI (fun rt _ -> rt.c.Interp.bidy)
+  | Bdimx ->
+      let v = l.block_x in
+      UI (fun _ _ -> v)
+  | Bdimy ->
+      let v = l.block_y in
+      UI (fun _ _ -> v)
+  | Gdimx ->
+      let v = l.grid_x in
+      UI (fun _ _ -> v)
+  | Gdimy ->
+      let v = l.grid_y in
+      UI (fun _ _ -> v)
+  | Idx ->
+      st.uses_idx <- true;
+      XI (fun rt _ -> rt.idx)
+  | Idy ->
+      st.uses_idy <- true;
+      XI (fun rt _ -> rt.idy)
+
+and comp_neg st env a : cexpr =
+  match comp_e st env a with
+  | UI f ->
+      UI
+        (fun rt m ->
+          inst rt;
+          -f rt m)
+  | UF f ->
+      UF
+        (fun rt m ->
+          inst rt;
+          let v = f rt m in
+          flops rt (Array.length m);
+          -.v)
+  | XI f ->
+      XI
+        (fun rt m ->
+          inst rt;
+          let x = f rt m in
+          let out = Array.make rt.c.Interp.n 0 in
+          Array.iter (fun l -> out.(l) <- -x.(l)) m;
+          out)
+  | XF f ->
+      XF
+        (fun rt m ->
+          inst rt;
+          let x = f rt m in
+          flops rt (Array.length m);
+          let out = Array.make rt.c.Interp.n 0.0 in
+          Array.iter (fun l -> out.(l) <- -.x.(l)) m;
+          out)
+  | XF2 f ->
+      XF2
+        (fun rt m ->
+          inst rt;
+          let x, y = f rt m in
+          let neg a =
+            let out = Array.make rt.c.Interp.n 0.0 in
+            Array.iter (fun l -> out.(l) <- -.a.(l)) m;
+            out
+          in
+          (neg x, neg y))
+  | XF4 f ->
+      XF4
+        (fun rt m ->
+          inst rt;
+          let x, y, z, w = f rt m in
+          let neg a =
+            let out = Array.make rt.c.Interp.n 0.0 in
+            Array.iter (fun l -> out.(l) <- -.a.(l)) m;
+            out
+          in
+          (neg x, neg y, neg z, neg w))
+  | UB _ | XB _ -> unsupported "negation of a boolean"
+
+and comp_binop st env op a b : cexpr =
+  let ca = comp_e st env a in
+  let cb = comp_e st env b in
+  let bothu = is_uniform ca && is_uniform cb in
+  match op with
+  | Add | Sub | Mul | Div -> (
+      match (ca, cb) with
+      | (UI _ | XI _), (UI _ | XI _) -> comp_int_arith st op ca cb
+      | (XF2 _ | XF4 _), _ | _, (XF2 _ | XF4 _) -> comp_vec_arith st op ca cb
+      | _ ->
+          let fop =
+            match op with
+            | Add -> ( +. )
+            | Sub -> ( -. )
+            | Mul -> ( *. )
+            | _ -> ( /. )
+          in
+          let fa = fsrc ca and fb = fsrc cb in
+          if bothu then
+            UF
+              (fun rt m ->
+                inst rt;
+                let x = fread (fa rt m) 0 in
+                let y = fread (fb rt m) 0 in
+                flops rt (Array.length m);
+                fop x y)
+          else
+            XF
+              (fun rt m ->
+                inst rt;
+                let ga = fa rt m in
+                let gb = fb rt m in
+                flops rt (Array.length m);
+                let out = Array.make rt.c.Interp.n 0.0 in
+                Array.iter
+                  (fun l -> out.(l) <- fop (fread ga l) (fread gb l))
+                  m;
+                out))
+  | Mod -> (
+      match (ca, cb) with
+      | (UI _ | XI _), (UI _ | XI _) ->
+          let fa = isrc ca and fb = isrc cb in
+          let emod x y =
+            if y = 0 then Interp.err "mod by zero";
+            ((x mod y) + y) mod y
+          in
+          if bothu then
+            UI
+              (fun rt m ->
+                inst rt;
+                let x = iread (fa rt m) 0 in
+                let y = iread (fb rt m) 0 in
+                emod x y)
+          else
+            XI
+              (fun rt m ->
+                inst rt;
+                let ga = fa rt m in
+                let gb = fb rt m in
+                let out = Array.make rt.c.Interp.n 0 in
+                Array.iter
+                  (fun l -> out.(l) <- emod (iread ga l) (iread gb l))
+                  m;
+                out)
+      | _ -> unsupported "%% on non-int values")
+  | Lt -> comp_cmp st ca cb ~iop:(fun x y -> x < y) ~fop:(fun x y -> x < y)
+  | Le -> comp_cmp st ca cb ~iop:(fun x y -> x <= y) ~fop:(fun x y -> x <= y)
+  | Gt -> comp_cmp st ca cb ~iop:(fun x y -> x > y) ~fop:(fun x y -> x > y)
+  | Ge -> comp_cmp st ca cb ~iop:(fun x y -> x >= y) ~fop:(fun x y -> x >= y)
+  | Eq -> comp_cmp st ca cb ~iop:(fun x y -> x = y) ~fop:(fun x y -> x = y)
+  | Ne -> comp_cmp st ca cb ~iop:(fun x y -> x <> y) ~fop:(fun x y -> x <> y)
+  | And | Or ->
+      let fa = bsrc ca and fb = bsrc cb in
+      let disj = op = Or in
+      (* both operands always evaluate, as in the reference *)
+      if bothu then
+        UB
+          (fun rt m ->
+            inst rt;
+            let x = bread (fa rt m) 0 in
+            let y = bread (fb rt m) 0 in
+            if disj then x || y else x && y)
+      else
+        XB
+          (fun rt m ->
+            inst rt;
+            let ga = fa rt m in
+            let gb = fb rt m in
+            let out = Array.make rt.c.Interp.n false in
+            if disj then
+              Array.iter (fun l -> out.(l) <- bread ga l || bread gb l) m
+            else Array.iter (fun l -> out.(l) <- bread ga l && bread gb l) m;
+            out)
+
+and comp_int_arith _st op ca cb : cexpr =
+  let iop =
+    match op with
+    | Add -> ( + )
+    | Sub -> ( - )
+    | Mul -> ( * )
+    | _ -> fun a b -> if b = 0 then Interp.err "division by zero" else a / b
+  in
+  let fa = isrc ca and fb = isrc cb in
+  if is_uniform ca && is_uniform cb then
+    UI
+      (fun rt m ->
+        inst rt;
+        let x = iread (fa rt m) 0 in
+        let y = iread (fb rt m) 0 in
+        iop x y)
+  else
+    XI
+      (fun rt m ->
+        inst rt;
+        let ga = fa rt m in
+        let gb = fb rt m in
+        let out = Array.make rt.c.Interp.n 0 in
+        Array.iter (fun l -> out.(l) <- iop (iread ga l) (iread gb l)) m;
+        out)
+
+and comp_vec_arith _st op ca cb : cexpr =
+  let fop =
+    match op with Add -> ( +. ) | Sub -> ( -. ) | Mul -> ( *. ) | _ -> ( /. )
+  in
+  let comb rt m x y =
+    let out = Array.make rt.c.Interp.n 0.0 in
+    Array.iter (fun l -> out.(l) <- fop x.(l) y.(l)) m;
+    out
+  in
+  match (ca, cb) with
+  | XF2 fa, XF2 fb ->
+      XF2
+        (fun rt m ->
+          inst rt;
+          let x1, y1 = fa rt m in
+          let x2, y2 = fb rt m in
+          flops rt (2 * Array.length m);
+          (comb rt m x1 x2, comb rt m y1 y2))
+  | XF4 fa, XF4 fb ->
+      XF4
+        (fun rt m ->
+          inst rt;
+          let a1, b1, c1, d1 = fa rt m in
+          let a2, b2, c2, d2 = fb rt m in
+          flops rt (4 * Array.length m);
+          (comb rt m a1 a2, comb rt m b1 b2, comb rt m c1 c2, comb rt m d1 d2))
+  | _ -> unsupported "mixed vector/scalar arithmetic"
+
+and comp_cmp _st ca cb ~(iop : int -> int -> bool) ~(fop : float -> float -> bool)
+    : cexpr =
+  match (ca, cb) with
+  | UI fa, UI fb ->
+      UB
+        (fun rt m ->
+          inst rt;
+          let x = fa rt m in
+          let y = fb rt m in
+          iop x y)
+  | (UI _ | XI _), (UI _ | XI _) ->
+      let fa = isrc ca and fb = isrc cb in
+      XB
+        (fun rt m ->
+          inst rt;
+          let ga = fa rt m in
+          let gb = fb rt m in
+          let out = Array.make rt.c.Interp.n false in
+          Array.iter (fun l -> out.(l) <- iop (iread ga l) (iread gb l)) m;
+          out)
+  | _ ->
+      let fa = fsrc ca and fb = fsrc cb in
+      if is_uniform ca && is_uniform cb then
+        UB
+          (fun rt m ->
+            inst rt;
+            let x = fread (fa rt m) 0 in
+            let y = fread (fb rt m) 0 in
+            fop x y)
+      else
+        XB
+          (fun rt m ->
+            inst rt;
+            let ga = fa rt m in
+            let gb = fb rt m in
+            let out = Array.make rt.c.Interp.n false in
+            Array.iter (fun l -> out.(l) <- fop (fread ga l) (fread gb l)) m;
+            out)
+
+and comp_load st env arr idxs : cexpr =
+  match Smap.find_opt arr env with
+  | Some (Bglobal (gslot, strides, name)) ->
+      if List.length idxs <> Array.length strides then
+        unsupported "rank mismatch accessing %s" arr;
+      let steps = comp_offsets st env strides idxs in
+      if List.for_all (function `U _ -> true | `V _ -> false) steps then
+        UF
+          (fun rt m ->
+            inst rt;
+            let g = rt.globals.(gslot) in
+            let data = g.Devmem.data in
+            let len = Array.length data in
+            let o = eval_usteps steps rt m in
+            if o < 0 || o >= len then
+              Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
+            let v = data.(o) in
+            let addr = g.Devmem.base + (o * 4) in
+            Interp.account_global rt.c ~is_store:false ~elt_bytes:4 m (fun _ ->
+                addr);
+            v)
+      else
+        XF
+          (fun rt m ->
+            inst rt;
+            let g = rt.globals.(gslot) in
+            let data = g.Devmem.data in
+            let len = Array.length data in
+            let u, offs = eval_steps steps rt m in
+            let out = Array.make rt.c.Interp.n 0.0 in
+            Array.iter
+              (fun l ->
+                let o = offs.(l) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
+                out.(l) <- data.(o))
+              m;
+            let base = g.Devmem.base in
+            Interp.account_global rt.c ~is_store:false ~elt_bytes:4 m (fun l ->
+                base + ((offs.(l) + u) * 4));
+            out)
+  | Some (Bshared (sslot, strides, len)) ->
+      if List.length idxs <> Array.length strides then
+        unsupported "rank mismatch accessing shared %s" arr;
+      let steps = comp_offsets st env strides idxs in
+      let name = arr in
+      if List.for_all (function `U _ -> true | `V _ -> false) steps then
+        UF
+          (fun rt m ->
+            inst rt;
+            let data = rt.shareds.(sslot) in
+            let o = eval_usteps steps rt m in
+            if o < 0 || o >= len then
+              Interp.err "out-of-bounds shared load %s[%d] (size %d)" name o
+                len;
+            let v = data.(o) in
+            Interp.account_shared rt.c m (fun _ -> o);
+            v)
+      else
+        XF
+          (fun rt m ->
+            inst rt;
+            let data = rt.shareds.(sslot) in
+            let u, offs = eval_steps steps rt m in
+            let out = Array.make rt.c.Interp.n 0.0 in
+            Array.iter
+              (fun l ->
+                let o = offs.(l) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds shared load %s[%d] (size %d)" name
+                    o len;
+                out.(l) <- data.(o))
+              m;
+            Interp.account_shared rt.c m (fun l -> offs.(l) + u);
+            out)
+  | Some _ -> unsupported "%s is not an array" arr
+  | None -> unsupported "unbound variable %s" arr
+
+(** Compile the per-dimension index steps of a flat-offset computation.
+    Steps evaluate strictly in index order (a condition inside an index
+    can reach memory); uniform dimensions contribute a scalar. *)
+and comp_offsets st env (strides : int array) (idxs : Ast.expr list) :
+    [ `U of (rt -> int array -> int) * int
+    | `V of (rt -> int array -> iget) * int ]
+    list =
+  List.mapi
+    (fun d idx ->
+      let stride = strides.(d) in
+      match comp_e st env idx with
+      | UI f -> `U (f, stride)
+      | UB f -> `U ((fun rt m -> if f rt m then 1 else 0), stride)
+      | (XI _ | XB _) as ce -> `V (isrc ce, stride)
+      | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected an int value")
+    idxs
+
+and eval_usteps steps rt m : int =
+  List.fold_left
+    (fun acc step ->
+      match step with
+      | `U (f, stride) -> acc + (f rt m * stride)
+      | `V _ -> assert false)
+    0 steps
+
+and eval_steps steps rt m : int * int array =
+  let u = ref 0 in
+  let offs = Array.make rt.c.Interp.n 0 in
+  List.iter
+    (fun step ->
+      match step with
+      | `U (f, stride) -> u := !u + (f rt m * stride)
+      | `V (f, stride) -> (
+          match f rt m with
+          | IS v -> u := !u + (v * stride)
+          | IA a -> Array.iter (fun l -> offs.(l) <- offs.(l) + (a.(l) * stride)) m
+          | IBA a ->
+              Array.iter
+                (fun l -> if a.(l) then offs.(l) <- offs.(l) + stride)
+                m))
+    steps;
+  (!u, offs)
+
+and comp_vload st env arr width idx : cexpr =
+  match Smap.find_opt arr env with
+  | Some (Bglobal (gslot, _, name)) ->
+      let fidx = isrc (comp_e st env idx) in
+      let mk =
+        fun rt m ->
+        inst rt;
+        let g = rt.globals.(gslot) in
+        let data = g.Devmem.data in
+        let len = Array.length data in
+        let iv = fidx rt m in
+        let comp k =
+          let out = Array.make rt.c.Interp.n 0.0 in
+          Array.iter
+            (fun l ->
+              let o = (iread iv l * width) + k in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds vector load %s[%d] (size %d)" name o
+                  len;
+              out.(l) <- data.(o))
+            m;
+          out
+        in
+        let comps = Array.init width comp in
+        let base = g.Devmem.base in
+        Interp.account_global rt.c ~is_store:false ~elt_bytes:(4 * width) m
+          (fun l -> base + (iread iv l * width * 4));
+        comps
+      in
+      if width = 2 then
+        XF2
+          (fun rt m ->
+            let comps = mk rt m in
+            (comps.(0), comps.(1)))
+      else if width = 4 then
+        XF4
+          (fun rt m ->
+            let comps = mk rt m in
+            (comps.(0), comps.(1), comps.(2), comps.(3)))
+      else unsupported "vector width %d" width
+  | _ -> unsupported "vector load from non-global array %s" arr
+
+and comp_field st env a f : cexpr =
+  match (comp_e st env a, f) with
+  | XF2 fa, Ast.FX -> XF (fun rt m -> fst (fa rt m))
+  | XF2 fa, Ast.FY -> XF (fun rt m -> snd (fa rt m))
+  | XF4 fa, Ast.FX ->
+      XF
+        (fun rt m ->
+          let x, _, _, _ = fa rt m in
+          x)
+  | XF4 fa, Ast.FY ->
+      XF
+        (fun rt m ->
+          let _, y, _, _ = fa rt m in
+          y)
+  | XF4 fa, Ast.FZ ->
+      XF
+        (fun rt m ->
+          let _, _, z, _ = fa rt m in
+          z)
+  | XF4 fa, Ast.FW ->
+      XF
+        (fun rt m ->
+          let _, _, _, w = fa rt m in
+          w)
+  | _ -> unsupported "bad vector field access"
+
+and comp_call st env f args : cexpr =
+  let unary g =
+    match args with
+    | [ a ] -> (
+        match comp_e st env a with
+        | (UI _ | UF _) as ce ->
+            let fa = fsrc ce in
+            UF
+              (fun rt m ->
+                inst rt;
+                flops rt (Array.length m);
+                g (fread (fa rt m) 0))
+        | (XI _ | XF _) as ce ->
+            let fa = fsrc ce in
+            XF
+              (fun rt m ->
+                inst rt;
+                flops rt (Array.length m);
+                let ga = fa rt m in
+                let out = Array.make rt.c.Interp.n 0.0 in
+                Array.iter (fun l -> out.(l) <- g (fread ga l)) m;
+                out)
+        | _ -> unsupported "expected a float value")
+    | _ -> unsupported "%s expects one argument" f
+  in
+  let binary_f g =
+    match args with
+    | [ a; b ] ->
+        let ca = comp_e st env a and cb = comp_e st env b in
+        let fa = fsrc ca and fb = fsrc cb in
+        if is_uniform ca && is_uniform cb then
+          UF
+            (fun rt m ->
+              inst rt;
+              flops rt (Array.length m);
+              let x = fread (fa rt m) 0 in
+              let y = fread (fb rt m) 0 in
+              g x y)
+        else
+          XF
+            (fun rt m ->
+              inst rt;
+              flops rt (Array.length m);
+              let ga = fa rt m in
+              let gb = fb rt m in
+              let out = Array.make rt.c.Interp.n 0.0 in
+              Array.iter (fun l -> out.(l) <- g (fread ga l) (fread gb l)) m;
+              out)
+    | _ -> unsupported "%s expects two arguments" f
+  in
+  match f with
+  | "sqrtf" -> unary sqrt
+  | "fabsf" -> unary Float.abs
+  | "expf" -> unary exp
+  | "logf" -> unary log
+  | "sinf" -> unary sin
+  | "cosf" -> unary cos
+  | "fmaxf" -> binary_f Float.max
+  | "fminf" -> binary_f Float.min
+  | "min" | "max" -> (
+      match args with
+      | [ a; b ] ->
+          let ca = comp_e st env a and cb = comp_e st env b in
+          let fa = isrc ca and fb = isrc cb in
+          let g = if f = "min" then min else max in
+          if is_uniform ca && is_uniform cb then
+            UI
+              (fun rt m ->
+                inst rt;
+                let x = iread (fa rt m) 0 in
+                let y = iread (fb rt m) 0 in
+                g x y)
+          else
+            XI
+              (fun rt m ->
+                inst rt;
+                let ga = fa rt m in
+                let gb = fb rt m in
+                let out = Array.make rt.c.Interp.n 0 in
+                Array.iter (fun l -> out.(l) <- g (iread ga l) (iread gb l)) m;
+                out)
+      | _ -> unsupported "%s expects two arguments" f)
+  | "make_float2" -> (
+      match args with
+      | [ a; b ] ->
+          let fa = fsrc (comp_e st env a) in
+          let fb = fsrc (comp_e st env b) in
+          XF2
+            (fun rt m ->
+              inst rt;
+              let x = materialize_f rt m (fa rt m) in
+              let y = materialize_f rt m (fb rt m) in
+              (x, y))
+      | _ -> unsupported "make_float2 expects two arguments")
+  | "make_float4" -> (
+      match args with
+      | [ a; b; d; e ] ->
+          let fa = fsrc (comp_e st env a) in
+          let fb = fsrc (comp_e st env b) in
+          let fd = fsrc (comp_e st env d) in
+          let fe = fsrc (comp_e st env e) in
+          XF4
+            (fun rt m ->
+              inst rt;
+              let x = materialize_f rt m (fa rt m) in
+              let y = materialize_f rt m (fb rt m) in
+              let z = materialize_f rt m (fd rt m) in
+              let w = materialize_f rt m (fe rt m) in
+              (x, y, z, w))
+      | _ -> unsupported "make_float4 expects four arguments")
+  | _ -> unsupported "unknown intrinsic %s" f
+
+and materialize_f rt m (g : fget) : float array =
+  match g with
+  | FA a -> a
+  | FS v ->
+      let out = Array.make rt.c.Interp.n 0.0 in
+      Array.iter (fun l -> out.(l) <- v) m;
+      out
+  | FI a ->
+      let out = Array.make rt.c.Interp.n 0.0 in
+      Array.iter (fun l -> out.(l) <- float_of_int a.(l)) m;
+      out
+
+and comp_select st env cond a b : cexpr =
+  let cc = comp_e st env cond in
+  let ca = comp_e st env a in
+  let cb = comp_e st env b in
+  let fc = bsrc cc in
+  let allu = is_uniform cc && is_uniform ca && is_uniform cb in
+  match (ca, cb) with
+  | (UI _ | XI _), (UI _ | XI _) ->
+      let fa = isrc ca and fb = isrc cb in
+      if allu then
+        UI
+          (fun rt m ->
+            inst rt;
+            let bv = bread (fc rt m) 0 in
+            let x = iread (fa rt m) 0 in
+            let y = iread (fb rt m) 0 in
+            if bv then x else y)
+      else
+        XI
+          (fun rt m ->
+            inst rt;
+            let gc = fc rt m in
+            let ga = fa rt m in
+            let gb = fb rt m in
+            let out = Array.make rt.c.Interp.n 0 in
+            Array.iter
+              (fun l -> out.(l) <- (if bread gc l then iread ga l else iread gb l))
+              m;
+            out)
+  | (UB _ | XB _), (UB _ | XB _) ->
+      let fa = bsrc ca and fb = bsrc cb in
+      if allu then
+        UB
+          (fun rt m ->
+            inst rt;
+            let bv = bread (fc rt m) 0 in
+            let x = bread (fa rt m) 0 in
+            let y = bread (fb rt m) 0 in
+            if bv then x else y)
+      else
+        XB
+          (fun rt m ->
+            inst rt;
+            let gc = fc rt m in
+            let ga = fa rt m in
+            let gb = fb rt m in
+            let out = Array.make rt.c.Interp.n false in
+            Array.iter
+              (fun l -> out.(l) <- (if bread gc l then bread ga l else bread gb l))
+              m;
+            out)
+  | _ ->
+      let fa = fsrc ca and fb = fsrc cb in
+      if allu then
+        UF
+          (fun rt m ->
+            inst rt;
+            let bv = bread (fc rt m) 0 in
+            let x = fread (fa rt m) 0 in
+            let y = fread (fb rt m) 0 in
+            if bv then x else y)
+      else
+        XF
+          (fun rt m ->
+            inst rt;
+            let gc = fc rt m in
+            let ga = fa rt m in
+            let gb = fb rt m in
+            let out = Array.make rt.c.Interp.n 0.0 in
+            Array.iter
+              (fun l -> out.(l) <- (if bread gc l then fread ga l else fread gb l))
+              m;
+            out)
+
+(* --- statements --- *)
+
+and fresh_vals n (sc : Ast.scalar) : Interp.vals =
+  match sc with
+  | Int -> Interp.VI (Array.make n 0)
+  | Float -> Interp.VF (Array.make n 0.0)
+  | Bool -> Interp.VB (Array.make n false)
+  | Float2 -> Interp.VF2 (Array.make n 0.0, Array.make n 0.0)
+  | Float4 ->
+      Interp.VF4
+        ( Array.make n 0.0,
+          Array.make n 0.0,
+          Array.make n 0.0,
+          Array.make n 0.0 )
+
+(** Masked store into a scalar slot with the reference interpreter's
+    promotion rules (int->float, bool->int, int->bool). *)
+and store_to_slot slot (sc : Ast.scalar) (ce : cexpr) : cstmt =
+  match (sc, ce) with
+  | Int, (UI _ | XI _ | UB _ | XB _) ->
+      let f = isrc ce in
+      fun rt m ->
+        let g = f rt m in
+        let d = slot_vi rt slot in
+        (match g with
+        | IS v -> Array.iter (fun l -> d.(l) <- v) m
+        | IA a -> Array.iter (fun l -> d.(l) <- a.(l)) m
+        | IBA a -> Array.iter (fun l -> d.(l) <- (if a.(l) then 1 else 0)) m)
+  | Float, (UI _ | UF _ | XI _ | XF _) ->
+      let f = fsrc ce in
+      fun rt m ->
+        let g = f rt m in
+        let d = slot_vf rt slot in
+        (match g with
+        | FS v -> Array.iter (fun l -> d.(l) <- v) m
+        | FA a -> Array.iter (fun l -> d.(l) <- a.(l)) m
+        | FI a -> Array.iter (fun l -> d.(l) <- float_of_int a.(l)) m)
+  | Bool, (UB _ | XB _ | UI _ | XI _) ->
+      let f = bsrc ce in
+      fun rt m ->
+        let g = f rt m in
+        let d = slot_vb rt slot in
+        (match g with
+        | BS v -> Array.iter (fun l -> d.(l) <- v) m
+        | BA a -> Array.iter (fun l -> d.(l) <- a.(l)) m
+        | BIA a -> Array.iter (fun l -> d.(l) <- a.(l) <> 0) m)
+  | Float2, XF2 f ->
+      fun rt m ->
+        let sx, sy = f rt m in
+        let dx, dy = slot_vf2 rt slot in
+        Array.iter
+          (fun l ->
+            dx.(l) <- sx.(l);
+            dy.(l) <- sy.(l))
+          m
+  | Float4, XF4 f ->
+      fun rt m ->
+        let sa, sb, sc4, sd = f rt m in
+        let da, db, dc, dd = slot_vf4 rt slot in
+        Array.iter
+          (fun l ->
+            da.(l) <- sa.(l);
+            db.(l) <- sb.(l);
+            dc.(l) <- sc4.(l);
+            dd.(l) <- sd.(l))
+          m
+  | _ -> unsupported "incompatible assignment"
+
+and shared_slot st name (a : Ast.array_ty) : int * Layout.t * int =
+  let lay = Layout.make ~pad:false name a in
+  match List.find_opt (fun (n, _, _, _) -> n = name) st.shared_specs with
+  | Some (_, lay0, len, slot) ->
+      if lay0 <> lay then
+        unsupported "conflicting shared layouts for %s" name;
+      (slot, lay, len)
+  | None ->
+      let slot = List.length st.shared_specs in
+      let len = max 1 (Layout.size_elems lay) in
+      st.shared_specs <- st.shared_specs @ [ (name, lay, len, slot) ];
+      (slot, lay, len)
+
+and assigns_var name (b : Ast.block) : bool =
+  let rec stmt = function
+    | Ast.Assign (Lvar v, _) -> v = name
+    | Ast.Assign (_, _) -> false
+    | Ast.If (_, t, f) -> block t || block f
+    | Ast.For l -> block l.l_body
+    | Ast.Decl _ | Ast.Sync | Ast.Global_sync | Ast.Comment _ -> false
+  and block b = List.exists stmt b in
+  block b
+
+and comp_stmt st env (s : Ast.stmt) : binding Smap.t * cstmt option =
+  match s with
+  | Comment _ -> (env, None)
+  | Global_sync ->
+      (* top-level barriers are phase splits; a nested one is a no-op,
+         exactly like the reference *)
+      (env, None)
+  | Sync ->
+      ( env,
+        Some
+          (fun rt _ ->
+            let s = rt.c.Interp.stats in
+            s.Stats.syncs <- s.Stats.syncs +. 1.;
+            rt.c.Interp.epoch <- rt.c.Interp.epoch + 1;
+            inst rt) )
+  | Decl { d_name; d_ty = Scalar sc; d_init } ->
+      let slot = fresh_slot st in
+      let stm =
+        match d_init with
+        | None -> fun rt _ -> rt.slots.(slot) <- fresh_vals rt.c.Interp.n sc
+        | Some e ->
+            let store = store_to_slot slot sc (comp_e st env e) in
+            fun rt m ->
+              rt.slots.(slot) <- fresh_vals rt.c.Interp.n sc;
+              inst rt;
+              store rt m
+      in
+      (Smap.add d_name (Bscalar (slot, sc)) env, Some stm)
+  | Decl { d_name; d_ty = Array ({ space = Shared; _ } as a); _ } ->
+      let slot, lay, len = shared_slot st d_name a in
+      let strides = Array.of_list (Layout.strides lay) in
+      (* storage is pre-created zeroed in [make_block]; the reference
+         creates it zeroed on first execution, which is equivalent *)
+      (Smap.add d_name (Bshared (slot, strides, len)) env, None)
+  | Decl { d_name; d_ty = Array _; _ } ->
+      unsupported "declaration of non-shared array %s in kernel body" d_name
+  | Assign (lv, e) -> (env, Some (comp_assign st env lv e))
+  | If (cond, t, f) -> (
+      let cc = comp_e st env cond in
+      let tstm = comp_block st env t in
+      let fstm = comp_block st env f in
+      match cc with
+      | UB _ | UI _ ->
+          let fc = bsrc cc in
+          ( env,
+            Some
+              (fun rt m ->
+                inst rt;
+                if bread (fc rt m) 0 then tstm rt m else fstm rt m) )
+      | XB _ | XI _ ->
+          let fc = bsrc cc in
+          ( env,
+            Some
+              (fun rt m ->
+                inst rt;
+                let g = fc rt m in
+                let nt = ref 0 in
+                Array.iter (fun l -> if bread g l then incr nt) m;
+                let nt = !nt in
+                let nm = Array.length m in
+                let tm = Array.make nt 0 and fm = Array.make (nm - nt) 0 in
+                let ti = ref 0 and fi = ref 0 in
+                Array.iter
+                  (fun l ->
+                    if bread g l then begin
+                      tm.(!ti) <- l;
+                      incr ti
+                    end
+                    else begin
+                      fm.(!fi) <- l;
+                      incr fi
+                    end)
+                  m;
+                if nt > 0 && nm - nt > 0 then begin
+                  let s = rt.c.Interp.stats in
+                  s.Stats.divergent_branches <- s.Stats.divergent_branches +. 1.
+                end;
+                if nt > 0 then tstm rt tm;
+                if nm - nt > 0 then fstm rt fm) )
+      | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected a boolean value")
+  | For { l_var; l_init; l_limit; l_step; l_body } -> (
+      let init_ce = comp_e st env l_init in
+      let init_uniform =
+        match init_ce with UI _ | UB _ -> true | _ -> false
+      in
+      let uniform_candidate =
+        init_uniform && not (assigns_var l_var l_body)
+      in
+      let uniform_compiled =
+        if not uniform_candidate then None
+        else begin
+          let r = fresh_ureg st in
+          let env_u = Smap.add l_var (Bloop_u r) env in
+          match (comp_e st env_u l_limit, comp_e st env_u l_step) with
+          | ((UI _ | UB _) as lim_ce), ((UI _ | UB _) as step_ce) ->
+              let finit = isrc init_ce in
+              let flim = isrc lim_ce in
+              let fstep = isrc step_ce in
+              let body = comp_block st env_u l_body in
+              Some
+                (fun rt m ->
+                  inst rt;
+                  rt.uregs.(r) <- iread (finit rt m) 0;
+                  let rec loop () =
+                    let lim = iread (flim rt m) 0 in
+                    let go = rt.uregs.(r) < lim in
+                    inst rt;
+                    if go then begin
+                      body rt m;
+                      rt.uregs.(r) <- rt.uregs.(r) + iread (fstep rt m) 0;
+                      inst rt;
+                      loop ()
+                    end
+                  in
+                  loop ())
+          | _ -> None
+        end
+      in
+      match uniform_compiled with
+      | Some stm -> (env, Some stm)
+      | None ->
+          let slot = fresh_slot st in
+          let env_v = Smap.add l_var (Bloop_v slot) env in
+          let finit = isrc init_ce in
+          let flim = isrc (comp_e st env_v l_limit) in
+          let fstep = isrc (comp_e st env_v l_step) in
+          let body = comp_block st env_v l_body in
+          ( env,
+            Some
+              (fun rt m ->
+                rt.slots.(slot) <- Interp.VI (Array.make rt.c.Interp.n 0);
+                inst rt;
+                let iv = slot_vi rt slot in
+                (match finit rt m with
+                | IS v -> Array.iter (fun l -> iv.(l) <- v) m
+                | IA a -> Array.iter (fun l -> iv.(l) <- a.(l)) m
+                | IBA a ->
+                    Array.iter
+                      (fun l -> iv.(l) <- (if a.(l) then 1 else 0))
+                      m);
+                let rec loop active =
+                  let lim = flim rt active in
+                  let ns = ref 0 in
+                  Array.iter
+                    (fun l -> if iv.(l) < iread lim l then incr ns)
+                    active;
+                  let still = Array.make !ns 0 in
+                  let si = ref 0 in
+                  Array.iter
+                    (fun l ->
+                      if iv.(l) < iread lim l then begin
+                        still.(!si) <- l;
+                        incr si
+                      end)
+                    active;
+                  inst rt;
+                  if !ns > 0 then begin
+                    body rt still;
+                    let stp = fstep rt still in
+                    Array.iter (fun l -> iv.(l) <- iv.(l) + iread stp l) still;
+                    inst rt;
+                    loop still
+                  end
+                in
+                loop m) ))
+
+and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : cstmt =
+  match lv with
+  | Lvar v -> (
+      match Smap.find_opt v env with
+      | Some (Bscalar (slot, sc)) ->
+          let store = store_to_slot slot sc (comp_e st env e) in
+          fun rt m ->
+            inst rt;
+            store rt m
+      | Some (Bloop_v slot) ->
+          let store = store_to_slot slot Int (comp_e st env e) in
+          fun rt m ->
+            inst rt;
+            store rt m
+      | Some (Bloop_u _) -> unsupported "assignment to uniform loop variable"
+      | Some _ | None -> unsupported "assignment to non-scalar %s" v)
+  | Lfield (Lvar v, fcomp) -> (
+      let src = fsrc (comp_e st env e) in
+      let comp_of_slot =
+        match (Smap.find_opt v env, fcomp) with
+        | Some (Bscalar (s, Float2)), Ast.FX -> fun rt -> fst (slot_vf2 rt s)
+        | Some (Bscalar (s, Float2)), Ast.FY -> fun rt -> snd (slot_vf2 rt s)
+        | Some (Bscalar (s, Float4)), Ast.FX ->
+            fun rt ->
+              let x, _, _, _ = slot_vf4 rt s in
+              x
+        | Some (Bscalar (s, Float4)), Ast.FY ->
+            fun rt ->
+              let _, y, _, _ = slot_vf4 rt s in
+              y
+        | Some (Bscalar (s, Float4)), Ast.FZ ->
+            fun rt ->
+              let _, _, z, _ = slot_vf4 rt s in
+              z
+        | Some (Bscalar (s, Float4)), Ast.FW ->
+            fun rt ->
+              let _, _, _, w = slot_vf4 rt s in
+              w
+        | _ -> unsupported "bad vector component assignment to %s" v
+      in
+      fun rt m ->
+        inst rt;
+        let g = src rt m in
+        let d = comp_of_slot rt in
+        match g with
+        | FS x -> Array.iter (fun l -> d.(l) <- x) m
+        | FA a -> Array.iter (fun l -> d.(l) <- a.(l)) m
+        | FI a -> Array.iter (fun l -> d.(l) <- float_of_int a.(l)) m)
+  | Lfield _ -> unsupported "unsupported field assignment"
+  | Lvec { v_arr; v_width; v_index } -> (
+      match Smap.find_opt v_arr env with
+      | Some (Bglobal (gslot, _, name)) ->
+          let fidx = isrc (comp_e st env v_index) in
+          let comps_of =
+            match (comp_e st env e, v_width) with
+            | XF2 f, 2 ->
+                fun rt m ->
+                  let x, y = f rt m in
+                  [| x; y |]
+            | XF4 f, 4 ->
+                fun rt m ->
+                  let x, y, z, w = f rt m in
+                  [| x; y; z; w |]
+            | _ -> unsupported "vector store width mismatch on %s" v_arr
+          in
+          fun rt m ->
+            inst rt;
+            let iv = fidx rt m in
+            let comps = comps_of rt m in
+            let g = rt.globals.(gslot) in
+            let data = g.Devmem.data in
+            let len = Array.length data in
+            Array.iter
+              (fun l ->
+                let i0 = iread iv l * v_width in
+                for q = 0 to v_width - 1 do
+                  let o = i0 + q in
+                  if o < 0 || o >= len then
+                    Interp.err "out-of-bounds vector store %s[%d] (size %d)"
+                      name o len;
+                  data.(o) <- comps.(q).(l)
+                done)
+              m;
+            let base = g.Devmem.base in
+            Interp.account_global rt.c ~is_store:true ~elt_bytes:(4 * v_width)
+              m (fun l -> base + (iread iv l * v_width * 4))
+      | _ -> unsupported "vector store to non-global array %s" v_arr)
+  | Lindex (arr, idxs) -> (
+      let src = fsrc (comp_e st env e) in
+      match Smap.find_opt arr env with
+      | Some (Bglobal (gslot, strides, name)) ->
+          let steps = comp_offsets st env strides idxs in
+          if List.for_all (function `U _ -> true | `V _ -> false) steps then
+            fun rt m ->
+              inst rt;
+              let g = src rt m in
+              let ga = rt.globals.(gslot) in
+              let data = ga.Devmem.data in
+              let len = Array.length data in
+              let o = eval_usteps steps rt m in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds store %s[%d] (size %d)" name o len;
+              Array.iter (fun l -> data.(o) <- fread g l) m;
+              let addr = ga.Devmem.base + (o * 4) in
+              Interp.account_global rt.c ~is_store:true ~elt_bytes:4 m
+                (fun _ -> addr)
+          else
+            fun rt m ->
+              inst rt;
+              let g = src rt m in
+              let ga = rt.globals.(gslot) in
+              let data = ga.Devmem.data in
+              let len = Array.length data in
+              let u, offs = eval_steps steps rt m in
+              Array.iter
+                (fun l ->
+                  let o = offs.(l) + u in
+                  if o < 0 || o >= len then
+                    Interp.err "out-of-bounds store %s[%d] (size %d)" name o
+                      len;
+                  data.(o) <- fread g l)
+                m;
+              let base = ga.Devmem.base in
+              Interp.account_global rt.c ~is_store:true ~elt_bytes:4 m
+                (fun l -> base + ((offs.(l) + u) * 4))
+      | Some (Bshared (sslot, strides, len)) ->
+          let steps = comp_offsets st env strides idxs in
+          let name = arr in
+          if List.for_all (function `U _ -> true | `V _ -> false) steps then
+            fun rt m ->
+              inst rt;
+              let g = src rt m in
+              let data = rt.shareds.(sslot) in
+              let o = eval_usteps steps rt m in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds shared store %s[%d] (size %d)" name
+                  o len;
+              Array.iter (fun l -> data.(o) <- fread g l) m;
+              Interp.account_shared rt.c m (fun _ -> o)
+          else
+            fun rt m ->
+              inst rt;
+              let g = src rt m in
+              let data = rt.shareds.(sslot) in
+              let u, offs = eval_steps steps rt m in
+              Array.iter
+                (fun l ->
+                  let o = offs.(l) + u in
+                  if o < 0 || o >= len then
+                    Interp.err "out-of-bounds shared store %s[%d] (size %d)"
+                      name o len;
+                  data.(o) <- fread g l)
+                m;
+              Interp.account_shared rt.c m (fun l -> offs.(l) + u)
+      | Some _ | None -> unsupported "%s is not an array" arr)
+
+and comp_block st env (b : Ast.block) : cstmt =
+  snd (comp_block_env st env b)
+
+and comp_block_env st env (b : Ast.block) : binding Smap.t * cstmt =
+  let env', rev_stms =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env', stm = comp_stmt st env s in
+        (env', match stm with None -> acc | Some f -> f :: acc))
+      (env, []) b
+  in
+  match List.rev rev_stms with
+  | [] -> (env', fun _ _ -> ())
+  | [ f ] -> (env', f)
+  | fs ->
+      let a = Array.of_list fs in
+      (env', fun rt m -> Array.iter (fun f -> f rt m) a)
+
+(* --- top-level compilation --- *)
+
+type code = {
+  co_nslots : int;
+  co_nuregs : int;
+  co_shared_lens : int array;  (** padded length per shared slot *)
+  co_globals : (string * int array) array;
+      (** per global slot: parameter name and expected padded strides *)
+  co_phases : cstmt array;
+  co_tidx : int array;
+  co_tidy : int array;
+  co_full_mask : int array;
+  co_n : int;
+  co_warps : float;
+  co_launch : Ast.launch;
+  co_uses_idx : bool;
+  co_uses_idy : bool;
+}
+
+let compile_uncached (k : Ast.kernel) (launch : Ast.launch) : code =
+  let n = launch.block_x * launch.block_y in
+  let st =
+    {
+      nslots = 0;
+      nuregs = 0;
+      shared_specs = [];
+      global_params = [];
+      uses_idx = false;
+      uses_idy = false;
+      cn = n;
+      claunch = launch;
+    }
+  in
+  let layouts = Layout.of_kernel k in
+  let env =
+    List.fold_left
+      (fun env (p : Ast.param) ->
+        match p.p_ty with
+        | Array { space = Global; _ } ->
+            let lay =
+              match List.assoc_opt p.p_name layouts with
+              | Some l -> l
+              | None -> unsupported "no layout for %s" p.p_name
+            in
+            let strides = Array.of_list (Layout.strides lay) in
+            let slot = List.length st.global_params in
+            st.global_params <- st.global_params @ [ (p.p_name, strides) ];
+            Smap.add p.p_name (Bglobal (slot, strides, p.p_name)) env
+        | Scalar Int -> (
+            match List.assoc_opt p.p_name k.k_sizes with
+            | Some v -> Smap.add p.p_name (Bconst v) env
+            | None ->
+                unsupported "int parameter %s has no #pragma gpcc dim binding"
+                  p.p_name)
+        | Scalar _ ->
+            unsupported "unsupported scalar parameter type for %s" p.p_name
+        | Array _ -> unsupported "non-global array parameter %s" p.p_name)
+      Smap.empty k.k_params
+  in
+  let phases =
+    let rec go env acc = function
+      | [] -> List.rev acc
+      | phase :: rest ->
+          let env', stm = comp_block_env st env phase in
+          go env' (stm :: acc) rest
+    in
+    Array.of_list (go env [] (phases_of_body k.k_body))
+  in
+  let shared_lens =
+    let a = Array.make (List.length st.shared_specs) 0 in
+    List.iter (fun (_, _, len, slot) -> a.(slot) <- len) st.shared_specs;
+    a
+  in
+  {
+    co_nslots = st.nslots;
+    co_nuregs = st.nuregs;
+    co_shared_lens = shared_lens;
+    co_globals = Array.of_list st.global_params;
+    co_phases = phases;
+    co_tidx = Array.init n (fun l -> l mod launch.block_x);
+    co_tidy = Array.init n (fun l -> l / launch.block_x);
+    co_full_mask = Array.init n Fun.id;
+    co_n = n;
+    co_warps = float_of_int ((n + 31) / 32);
+    co_launch = launch;
+    co_uses_idx = st.uses_idx;
+    co_uses_idy = st.uses_idy;
+  }
+
+(* --- memoization: one compile per (kernel, launch) pair --- *)
+
+let memo : (string, (code, string) result) Hashtbl.t = Hashtbl.create 32
+let memo_mutex = Mutex.create ()
+let memo_max = 128
+
+(** Compile a kernel for a launch, memoized by a digest of both. Returns
+    [Error reason] when the kernel uses a shape the compiled backend does
+    not support (the caller falls back to the reference backend, which
+    reproduces the interpreter's runtime errors). *)
+let compile (k : Ast.kernel) (launch : Ast.launch) : (code, string) result =
+  let key = Digest.string (Marshal.to_string (k, launch) []) in
+  Mutex.lock memo_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_mutex)
+    (fun () ->
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let r =
+            try Ok (compile_uncached k launch) with
+            | Unsupported msg -> Error msg
+            | e -> Error (Printexc.to_string e)
+          in
+          if Hashtbl.length memo >= memo_max then Hashtbl.reset memo;
+          Hashtbl.add memo key r;
+          r)
+
+(* --- per-run preparation and per-block state --- *)
+
+type prepared = { p_code : code; p_globals : Devmem.arr array }
+
+(** Resolve the compiled code's global parameters against a concrete
+    device memory, verifying that the strides assumed at compile time
+    match the allocated layouts. *)
+let prepare (code : code) (mem : Devmem.t) : prepared =
+  let globals =
+    Array.map
+      (fun (name, strides) ->
+        match Devmem.find mem name with
+        | None -> unsupported "array %s not allocated" name
+        | Some arr ->
+            if arr.Devmem.strides <> strides then
+              unsupported "layout mismatch for %s" name;
+            arr)
+      code.co_globals
+  in
+  { p_code = code; p_globals = globals }
+
+(* shared, never-mutated placeholders: compiled code neither reads nor
+   writes the reference environment or the race-check shadow state *)
+let dummy_env : (string, Interp.entry) Hashtbl.t = Hashtbl.create 1
+let dummy_shadow : (string, Interp.shadow) Hashtbl.t = Hashtbl.create 1
+
+let make_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
+    ~(record_tx : bool) ~(bidx : int) ~(bidy : int) : rt =
+  let code = p.p_code in
+  let c : Interp.bctx =
+    {
+      cfg;
+      stats;
+      launch = code.co_launch;
+      n = code.co_n;
+      warps = code.co_warps;
+      tidx = code.co_tidx;
+      tidy = code.co_tidy;
+      bidx;
+      bidy;
+      env = dummy_env;
+      record_tx;
+      txparts = [];
+      check = false;
+      epoch = 1;
+      shadow = dummy_shadow;
+    }
+  in
+  {
+    c;
+    slots = Array.make (max 1 code.co_nslots) (Interp.VI [||]);
+    shareds = Array.map (fun len -> Array.make len 0.0) code.co_shared_lens;
+    globals = p.p_globals;
+    uregs = Array.make (max 1 code.co_nuregs) 0;
+    idx =
+      (if code.co_uses_idx then
+         Array.map (fun t -> (bidx * code.co_launch.block_x) + t) code.co_tidx
+       else [||]);
+    idy =
+      (if code.co_uses_idy then
+         Array.map (fun t -> (bidy * code.co_launch.block_y) + t) code.co_tidy
+       else [||]);
+  }
+
+let nphases (code : code) = Array.length code.co_phases
+
+(** Execute one phase of the kernel over one block, like
+    {!Interp.run_block} on the corresponding phase body. *)
+let run_phase (p : prepared) (rt : rt) (i : int) : unit =
+  rt.c.Interp.epoch <- rt.c.Interp.epoch + 1;
+  p.p_code.co_phases.(i) rt p.p_code.co_full_mask
+
+(* --- fallback accounting (for tests and the bench harness) --- *)
+
+let fallbacks = Atomic.make 0
+let note_fallback () = Atomic.incr fallbacks
+let fallback_count () = Atomic.get fallbacks

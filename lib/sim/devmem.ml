@@ -12,6 +12,7 @@ open Gpcc_analysis
 type arr = {
   lay : Layout.t;
   base : int;  (** byte address of element 0 *)
+  strides : int array;  (** padded strides, precomputed from [lay] *)
   data : float array;  (** padded storage, row-major over pitches *)
 }
 
@@ -26,7 +27,14 @@ let align_up n a = (n + a - 1) / a * a
 
 let alloc (t : t) (lay : Layout.t) : arr =
   let base = align_up t.next_base 256 in
-  let a = { lay; base; data = Array.make (max 1 (Layout.size_elems lay)) 0.0 } in
+  let a =
+    {
+      lay;
+      base;
+      strides = Array.of_list (Layout.strides lay);
+      data = Array.make (max 1 (Layout.size_elems lay)) 0.0;
+    }
+  in
   t.next_base <- base + Layout.size_bytes lay;
   Hashtbl.replace t.arrays lay.Layout.name a;
   a
@@ -53,10 +61,9 @@ let find_exn (t : t) name =
 
 (** Padded flat offset of a logical multi-index. *)
 let offset (a : arr) (indices : int list) : int =
-  List.fold_left2
-    (fun acc i stride -> acc + (i * stride))
-    0 indices
-    (Layout.strides a.lay)
+  let acc = ref 0 in
+  List.iteri (fun d i -> acc := !acc + (i * a.strides.(d))) indices;
+  !acc
 
 (** Iterate logical indices of a layout in row-major order. *)
 let iter_logical (lay : Layout.t) (f : int list -> unit) : unit =

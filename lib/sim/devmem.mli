@@ -5,6 +5,7 @@
 type arr = {
   lay : Gpcc_analysis.Layout.t;
   base : int;  (** byte address of element 0, 256-byte aligned *)
+  strides : int array;  (** padded strides, precomputed from [lay] *)
   data : float array;  (** padded storage, row-major over pitches *)
 }
 

@@ -14,6 +14,7 @@
       streams give the partition-efficiency estimate. *)
 
 open Gpcc_ast
+module Pool = Gpcc_util.Pool
 
 type mode =
   | Full
@@ -27,14 +28,9 @@ type result = {
   partition_eff : float;
 }
 
-(** Split the kernel body at top-level [__global_sync] barriers. *)
-let phases_of_body (body : Ast.block) : Ast.block list =
-  let rec go cur acc = function
-    | [] -> List.rev (List.rev cur :: acc)
-    | Ast.Global_sync :: rest -> go [] (List.rev cur :: acc) rest
-    | s :: rest -> go (s :: cur) acc rest
-  in
-  go [] [] body
+(** Split the kernel body at top-level [__global_sync] barriers
+    (both backends agree on the same phase structure). *)
+let phases_of_body = Compile.phases_of_body
 
 (** Static memory-level-parallelism estimate: the largest number of global
     load sites inside one innermost loop body (independent loads from one
@@ -121,12 +117,77 @@ let partition_efficiency (cfg : Config.t) (streams : int array list) : float =
 let block_coords (launch : Ast.launch) (linear : int) =
   (linear mod launch.grid_x, linear / launch.grid_x)
 
+(* --- simulator backends --- *)
+
+type backend =
+  | Reference  (** tree-walking {!Interp}; supports GPCC_CHECK *)
+  | Compiled  (** closure-compiled {!Compile}; falls back to reference *)
+
+let backend_name = function
+  | Reference -> "reference"
+  | Compiled -> "compiled"
+
+(** Backend selected by the [GPCC_INTERP] environment variable:
+    [ref]/[reference] selects the tree-walking interpreter, anything
+    else (including unset) the compiled backend. *)
+let backend_of_env () =
+  match Sys.getenv_opt "GPCC_INTERP" with
+  | Some ("ref" | "reference") -> Reference
+  | _ -> Compiled
+
+(** Per-block execution state of either backend. *)
+type bstate = Bref of Interp.bctx | Bcomp of Compile.rt
+
+(* --- execution pool ---
+
+   Blocks of one phase are independent (CUDA requires inter-block race
+   freedom within a grid phase), so Full and Sampled runs fan blocks out
+   over a shared worker-domain pool. The pool is created lazily on first
+   parallel run and never shut down. Per-block statistics are merged in
+   block-index order at each barrier, so results do not depend on the
+   interleaving. *)
+
+let shared_pool = lazy (Pool.create ())
+
+let with_exec_pool ?jobs (f : Pool.t option -> 'a) : 'a =
+  match jobs with
+  | Some j when j <= 1 -> f None
+  | Some j -> Pool.with_pool ~jobs:j (fun p -> f (Some p))
+  | None ->
+      if Pool.default_jobs () <= 1 then f None
+      else f (Some (Lazy.force shared_pool))
+
+(* --- cumulative simulator wall clock --- *)
+
+let sim_mutex = Mutex.create ()
+let sim_total = ref 0.0
+
+(** Wall-clock seconds spent inside {!run} since program start,
+    cumulative over all calls (reported as [sim_wall_clock_s] in bench
+    output). *)
+let sim_seconds () =
+  Mutex.lock sim_mutex;
+  let t = !sim_total in
+  Mutex.unlock sim_mutex;
+  t
+
 (** Run a kernel. The caller is responsible for having bound every [int]
     parameter via [k_sizes] and allocated the arrays in [mem].
     [streams] bounds how many resident-wave blocks feed the
-    partition-efficiency estimate. *)
-let run ?(mode = Full) ?(streams = 12) (cfg : Config.t) (k : Ast.kernel)
-    (launch : Ast.launch) (mem : Devmem.t) : result =
+    partition-efficiency estimate. [backend] defaults to
+    {!backend_of_env}; [jobs] bounds the worker domains ([1] forces
+    serial execution). [GPCC_CHECK=1] forces the serial reference
+    backend so the dynamic race checker sees every access. *)
+let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
+    (k : Ast.kernel) (launch : Ast.launch) (mem : Devmem.t) : result =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Mutex.lock sim_mutex;
+      sim_total := !sim_total +. dt;
+      Mutex.unlock sim_mutex)
+  @@ fun () ->
   let phases = phases_of_body k.k_body in
   let nblocks = Ast.total_blocks launch in
   let regs = Gpcc_analysis.Regcount.estimate k in
@@ -145,29 +206,101 @@ let run ?(mode = Full) ?(streams = 12) (cfg : Config.t) (k : Ast.kernel)
     List.init s (fun i -> i * wave / s) |> List.sort_uniq compare
   in
   let mode = if List.length phases > 1 then Full else mode in
+  let check = Interp.env_check () in
+  let backend =
+    if check then Reference
+    else match backend with Some b -> b | None -> backend_of_env ()
+  in
+  let jobs = if check then Some 1 else jobs in
+  let prep =
+    match backend with
+    | Reference -> None
+    | Compiled -> (
+        match Compile.compile k launch with
+        | Ok code -> (
+            try Some (Compile.prepare code mem)
+            with Compile.Unsupported _ ->
+              Compile.note_fallback ();
+              None)
+        | Error _ ->
+            Compile.note_fallback ();
+            None)
+  in
+  let phases_arr = Array.of_list phases in
+  let nph = Array.length phases_arr in
+  let make_block ~record_tx lstats ~bidx ~bidy =
+    match prep with
+    | Some p -> Bcomp (Compile.make_block p cfg lstats ~record_tx ~bidx ~bidy)
+    | None ->
+        Bref
+          (Interp.make_bctx ~record_tx ~check cfg lstats k launch mem ~bidx
+             ~bidy)
+  in
+  let exec_phase b p =
+    match b with
+    | Bcomp rt -> Compile.run_phase (Option.get prep) rt p
+    | Bref c -> Interp.run_block c phases_arr.(p)
+  in
+  let tx_stream b =
+    let l =
+      match b with
+      | Bcomp rt -> rt.Compile.c.Interp.txparts
+      | Bref c -> c.Interp.txparts
+    in
+    Array.of_list (List.rev l)
+  in
   let per_block, streams, sampled =
     match mode with
     | Full ->
-        let stats = Stats.create () in
-        let streams = ref [] in
-        (* create contexts upfront so thread state persists across
+        let in_stream = Array.make nblocks false in
+        List.iter
+          (fun i -> if i < nblocks then in_stream.(i) <- true)
+          stream_ids;
+        (* per-block statistics merged in block order at the end, so the
+           parallel interleaving cannot perturb the totals *)
+        let bstats = Array.init nblocks (fun _ -> Stats.create ()) in
+        (* create block state upfront so thread state persists across
            global-sync phases *)
-        let ctxs =
+        let blocks =
           Array.init nblocks (fun i ->
               let bx, by = block_coords launch i in
-              Interp.make_bctx ~record_tx:(List.mem i stream_ids) cfg stats k
-                launch mem ~bidx:bx ~bidy:by)
+              make_block ~record_tx:in_stream.(i) bstats.(i) ~bidx:bx
+                ~bidy:by)
         in
-        List.iter
-          (fun phase -> Array.iter (fun c -> Interp.run_block c phase) ctxs)
-          phases;
+        with_exec_pool ?jobs (fun pool ->
+            for p = 0 to nph - 1 do
+              (* barrier between phases: every block finishes phase [p]
+                 before any block starts phase [p+1] *)
+              match pool with
+              | None -> Array.iter (fun b -> exec_phase b p) blocks
+              | Some pool ->
+                  let nw = max 1 (Pool.size pool) in
+                  let nchunks = min nblocks (nw * 4) in
+                  let chunks =
+                    List.init nchunks (fun ci ->
+                        (ci * nblocks / nchunks,
+                         ((ci + 1) * nblocks / nchunks) - 1))
+                  in
+                  (* contiguous chunks in index order: Pool.map re-raises
+                     the earliest failing chunk, whose first failure is
+                     the globally lowest failing block, like serial *)
+                  ignore
+                    (Pool.map pool
+                       (fun (lo, hi) ->
+                         for i = lo to hi do
+                           exec_phase blocks.(i) p
+                         done)
+                       chunks)
+            done);
+        let stats = Stats.create () in
+        Array.iter (fun t -> Stats.add stats t) bstats;
+        let streams = ref [] in
         Array.iteri
-          (fun i c ->
-            if List.mem i stream_ids then
-              streams :=
-                Array.of_list (List.rev c.Interp.txparts) :: !streams)
-          ctxs;
-        (Stats.scale (1.0 /. float_of_int nblocks) stats, List.rev !streams, nblocks)
+          (fun i b -> if in_stream.(i) then streams := tx_stream b :: !streams)
+          blocks;
+        ( Stats.scale (1.0 /. float_of_int nblocks) stats,
+          List.rev !streams,
+          nblocks )
     | Sampled n ->
         (* two sample sets: statistics come from blocks spread evenly over
            the whole grid (work can vary with the block id, e.g.
@@ -178,36 +311,52 @@ let run ?(mode = Full) ?(streams = 12) (cfg : Config.t) (k : Ast.kernel)
         let spread =
           List.init s (fun i -> i * nblocks / s) |> List.sort_uniq compare
         in
-        let consec = stream_ids in
-        let stats = Stats.create () in
-        let stat_runs = ref 0 in
-        let streams = ref [] in
-        let run_one ~record ~count i =
+        let in_spread = Array.make nblocks false in
+        List.iter (fun i -> in_spread.(i) <- true) spread;
+        let in_consec = Array.make nblocks false in
+        List.iter
+          (fun i -> if i < nblocks then in_consec.(i) <- true)
+          stream_ids;
+        let tasks =
+          List.map (fun i -> (i, true, in_spread.(i))) stream_ids
+          @ (List.filter (fun i -> not in_consec.(i)) spread
+            |> List.map (fun i -> (i, false, true)))
+        in
+        let run_one (i, record, count) =
           let bx, by = block_coords launch i in
           let local = Stats.create () in
-          let c =
-            Interp.make_bctx ~record_tx:record cfg local k launch mem
-              ~bidx:bx ~bidy:by
-          in
-          (match List.iter (Interp.run_block c) phases with
+          let b = make_block ~record_tx:record local ~bidx:bx ~bidy:by in
+          (match
+             for p = 0 to nph - 1 do
+               exec_phase b p
+             done
+           with
           | () -> ()
           | exception Interp.Runtime_error m ->
               raise
                 (Interp.Runtime_error
                    (Printf.sprintf "%s (block %d,%d)" m bx by)));
-          if count then begin
-            Stats.add stats local;
-            incr stat_runs
-          end;
-          if record then
-            streams := Array.of_list (List.rev c.Interp.txparts) :: !streams
+          (local, count, if record then Some (tx_stream b) else None)
         in
+        let results =
+          with_exec_pool ?jobs (fun pool ->
+              match pool with
+              | None -> List.map run_one tasks
+              | Some pool -> Pool.map pool run_one tasks)
+        in
+        let stats = Stats.create () in
+        let stat_runs = ref 0 in
+        let streams = ref [] in
         List.iter
-          (fun i -> run_one ~record:true ~count:(List.mem i spread) i)
-          consec;
-        List.iter
-          (fun i -> if not (List.mem i consec) then run_one ~record:false ~count:true i)
-          spread;
+          (fun (local, count, stream) ->
+            if count then begin
+              Stats.add stats local;
+              incr stat_runs
+            end;
+            match stream with
+            | Some s -> streams := s :: !streams
+            | None -> ())
+          results;
         let denom = float_of_int (max 1 !stat_runs) in
         (Stats.scale (1.0 /. denom) stats, List.rev !streams, !stat_runs)
   in

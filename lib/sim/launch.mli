@@ -23,6 +23,23 @@ type result = {
 (** Split a kernel body at top-level [__global_sync] barriers. *)
 val phases_of_body : Gpcc_ast.Ast.block -> Gpcc_ast.Ast.block list
 
+(** Simulator backend: the closure-compiled backend ({!Compile}) is the
+    default and is bit-identical to the tree-walking reference
+    interpreter; kernels it cannot compile fall back per run. *)
+type backend =
+  | Reference
+  | Compiled
+
+val backend_name : backend -> string
+
+(** Backend selected by [GPCC_INTERP] ([ref]/[reference] selects the
+    tree-walking interpreter; default is [Compiled]). *)
+val backend_of_env : unit -> backend
+
+(** Cumulative wall-clock seconds spent inside {!run} since program
+    start (the [sim_wall_clock_s] bench field). *)
+val sim_seconds : unit -> float
+
 (** Static memory-level-parallelism estimate (independent loads one warp
     keeps in flight), used by the timing model's latency term. *)
 val mlp_estimate : Gpcc_ast.Ast.kernel -> float
@@ -33,10 +50,16 @@ val partition_efficiency : Config.t -> int array list -> float
 
 (** Run a kernel. Every [int] parameter must be bound via [k_sizes] and
     every global array allocated in the memory. [streams] bounds how many
-    resident-wave blocks feed the partition estimate. *)
+    resident-wave blocks feed the partition estimate. [backend] defaults
+    to {!backend_of_env}. [jobs] bounds the worker domains used to
+    execute independent blocks of each phase in parallel ([1] forces
+    serial; default [GPCC_JOBS] or the domain count). [GPCC_CHECK=1]
+    forces the serial reference backend. *)
 val run :
   ?mode:mode ->
   ?streams:int ->
+  ?backend:backend ->
+  ?jobs:int ->
   Config.t ->
   Gpcc_ast.Ast.kernel ->
   Gpcc_ast.Ast.launch ->

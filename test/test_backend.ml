@@ -1,0 +1,172 @@
+(** Backend equivalence: the closure-compiled simulator backend must be
+    bit-identical to the tree-walking reference interpreter — output
+    arrays and every {!Gpcc_sim.Stats} field — on every registry
+    workload, naive and optimized, in Full and Sampled modes; and
+    parallel grid execution must reproduce serial execution exactly. *)
+
+open Util
+module W = Gpcc_workloads.Workload
+module L = Gpcc_sim.Launch
+module S = Gpcc_sim.Stats
+
+let stats_fields (s : S.t) =
+  [
+    ("warp_insts", s.S.warp_insts);
+    ("flops", s.S.flops);
+    ("gld_tx", s.S.gld_tx);
+    ("gst_tx", s.S.gst_tx);
+    ("gld_bytes", s.S.gld_bytes);
+    ("gst_bytes", s.S.gst_bytes);
+    ("cost_bytes", s.S.cost_bytes);
+    ("gld_requests", s.S.gld_requests);
+    ("gst_requests", s.S.gst_requests);
+    ("shared_ops", s.S.shared_ops);
+    ("bank_extra", s.S.bank_extra);
+    ("syncs", s.S.syncs);
+    ("divergent_branches", s.S.divergent_branches);
+    ("loads_in_flight", s.S.loads_in_flight);
+  ]
+
+let global_arrays (k : Gpcc_ast.Ast.kernel) =
+  List.filter_map
+    (fun (p : Gpcc_ast.Ast.param) ->
+      match p.p_ty with
+      | Array { space = Global; _ } -> Some p.p_name
+      | _ -> None)
+    k.k_params
+
+(** Run [k] on fresh memory and return the simulator result plus the
+    final contents of every global array. *)
+let exec ~backend ?jobs ~mode (w : W.t) n (k : Gpcc_ast.Ast.kernel) launch =
+  let mem = Gpcc_sim.Devmem.of_kernel k in
+  List.iter
+    (fun (name, d) -> Gpcc_sim.Devmem.write mem name d)
+    (w.W.inputs n);
+  let r = L.run ~mode ~backend ?jobs cfg280 k launch mem in
+  (r, List.map (fun a -> (a, Gpcc_sim.Devmem.read mem a)) (global_arrays k))
+
+(** Bitwise comparison ([compare] treats nan = nan, unlike [=]). *)
+let bit_identical label ((ra : L.result), oa) ((rb : L.result), ob) =
+  List.iter2
+    (fun (n1, a) (n2, b) ->
+      Alcotest.(check string) (label ^ " array order") n1 n2;
+      if compare a b <> 0 then
+        Alcotest.failf "%s: array %s differs between backends" label n1)
+    oa ob;
+  List.iter2
+    (fun (f, x) (_, y) ->
+      if compare x y <> 0 then
+        Alcotest.failf "%s: stats field %s: %.17g <> %.17g" label f x y)
+    (stats_fields ra.L.per_block)
+    (stats_fields rb.L.per_block);
+  if compare ra.L.partition_eff rb.L.partition_eff <> 0 then
+    Alcotest.failf "%s: partition_eff %.17g <> %.17g" label ra.L.partition_eff
+      rb.L.partition_eff;
+  Alcotest.(check int) (label ^ " sampled_blocks") ra.L.sampled_blocks
+    rb.L.sampled_blocks
+
+(** Naive and pipeline-optimized variants of one workload. *)
+let kernels_of (w : W.t) n =
+  let k = W.parse w n in
+  let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+  let r = compile k in
+  [ (w.W.name ^ "/naive", k, launch); (w.W.name ^ "/opt", r.kernel, r.launch) ]
+
+let test_compiled_matches_reference () =
+  List.iter
+    (fun (w : W.t) ->
+      let n = w.W.test_size in
+      List.iter
+        (fun (label, k, launch) ->
+          List.iter
+            (fun (mname, mode) ->
+              let fb0 = Gpcc_sim.Compile.fallback_count () in
+              let rr = exec ~backend:L.Reference ~jobs:1 ~mode w n k launch in
+              let rc = exec ~backend:L.Compiled ~jobs:1 ~mode w n k launch in
+              Alcotest.(check int)
+                (label ^ "/" ^ mname ^ " compiled without fallback")
+                fb0
+                (Gpcc_sim.Compile.fallback_count ());
+              bit_identical (label ^ "/" ^ mname) rr rc)
+            [ ("full", L.Full); ("sampled", L.Sampled 4) ])
+        (kernels_of w n))
+    Gpcc_workloads.Registry.all
+
+let test_parallel_matches_serial () =
+  List.iter
+    (fun (w : W.t) ->
+      let n = w.W.test_size in
+      List.iter
+        (fun (label, k, launch) ->
+          let serial =
+            exec ~backend:L.Compiled ~jobs:1 ~mode:L.Full w n k launch
+          in
+          let par =
+            exec ~backend:L.Compiled ~jobs:4 ~mode:L.Full w n k launch
+          in
+          bit_identical (label ^ " parallel==serial") serial par)
+        (kernels_of w n))
+    Gpcc_workloads.Registry.all
+
+let test_parallel_reference_matches_serial () =
+  (* the parallel grid executor is backend-independent *)
+  let w = Gpcc_workloads.Registry.find_exn "mm" in
+  let n = w.W.test_size in
+  List.iter
+    (fun (label, k, launch) ->
+      let serial =
+        exec ~backend:L.Reference ~jobs:1 ~mode:L.Full w n k launch
+      in
+      let par = exec ~backend:L.Reference ~jobs:4 ~mode:L.Full w n k launch in
+      bit_identical (label ^ " ref parallel==serial") serial par)
+    (kernels_of w n)
+
+let test_backend_of_env () =
+  let set v = Unix.putenv "GPCC_INTERP" v in
+  set "ref";
+  Alcotest.(check string) "ref" "reference" (L.backend_name (L.backend_of_env ()));
+  set "reference";
+  Alcotest.(check string)
+    "reference" "reference"
+    (L.backend_name (L.backend_of_env ()));
+  set "compiled";
+  Alcotest.(check string) "compiled" "compiled"
+    (L.backend_name (L.backend_of_env ()));
+  set "";
+  Alcotest.(check string) "default" "compiled"
+    (L.backend_name (L.backend_of_env ()))
+
+let test_unsupported_falls_back () =
+  (* a float scalar parameter is outside the compiled subset: the run
+     must fall back to the reference interpreter and still fail with the
+     reference's runtime error *)
+  let k =
+    Gpcc_ast.Parser.kernel_of_string
+      {|__kernel void f(float s, float a[64]) {
+  a[idx] = s;
+}|}
+  in
+  let launch =
+    { Gpcc_ast.Ast.grid_x = 1; grid_y = 1; block_x = 64; block_y = 1 }
+  in
+  let mem = Gpcc_sim.Devmem.of_kernel k in
+  let fb0 = Gpcc_sim.Compile.fallback_count () in
+  (match L.run ~backend:L.Compiled ~jobs:1 cfg280 k launch mem with
+  | _ -> Alcotest.fail "expected a runtime error"
+  | exception Gpcc_sim.Interp.Runtime_error m ->
+      assert_contains "reference error surfaces" m
+        "unsupported scalar parameter type");
+  Alcotest.(check bool) "fallback recorded" true
+    (Gpcc_sim.Compile.fallback_count () > fb0)
+
+let suite =
+  let q n f = Alcotest.test_case n `Quick f in
+  let s n f = Alcotest.test_case n `Slow f in
+  ( "backend",
+    [
+      s "compiled == reference (bit-identical)" test_compiled_matches_reference;
+      s "parallel Full == serial Full" test_parallel_matches_serial;
+      s "reference parallel == serial" test_parallel_reference_matches_serial;
+      q "GPCC_INTERP selection" test_backend_of_env;
+      q "unsupported kernels fall back" test_unsupported_falls_back;
+    ] )

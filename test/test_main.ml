@@ -10,6 +10,7 @@ let () =
       Test_analysis.suite;
       Test_verify.suite;
       Test_sim.suite;
+      Test_backend.suite;
       Test_passes.suite;
       Test_workloads.suite;
       Test_explore.suite;

@@ -226,6 +226,21 @@ __kernel void k%d(float a[64], float o[64], int n) {
   Alcotest.(check int)
     "cold entry was evicted" (misses_before + 1) (Cache.misses cache)
 
+(* --- verifier verdicts survive the on-disk round trip --- *)
+
+let test_verify_disk_round_trip () =
+  let w = Registry.find_exn "mv" in
+  let k = Workload.parse w w.test_size in
+  let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+  let fresh = Gpcc_analysis.Verify.check ~launch k in
+  (* first fresh instance computes (or reads) and persists the verdict;
+     the second starts with an empty memory slot, so it must serve the
+     marshalled file — the round trip has to be structurally lossless *)
+  let d1 = Cache.verify (Cache.create ()) ~launch k in
+  let d2 = Cache.verify (Cache.create ()) ~launch k in
+  Alcotest.(check bool) "first instance matches Verify.check" true (d1 = fresh);
+  Alcotest.(check bool) "disk round trip is lossless" true (d2 = fresh)
+
 (* --- remarks: structure and JSON emission --- *)
 
 let test_remarks_structure () =
@@ -321,6 +336,8 @@ let suite =
         test_invalidation_declarations_sound;
       Alcotest.test_case "analysis cache: LRU keeps hot entries" `Quick
         test_lru_eviction_keeps_hot_entries;
+      Alcotest.test_case "verifier verdicts: disk round trip" `Quick
+        test_verify_disk_round_trip;
       Alcotest.test_case "remarks: structure and JSON" `Quick
         test_remarks_structure;
       Alcotest.test_case "pipeline surgery: disable / with_passes / describe"
