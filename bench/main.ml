@@ -27,7 +27,12 @@ open Gpcc_workloads
 let fast = Sys.getenv_opt "GPCC_FAST" <> None
 let gtx280 = Gpcc_sim.Config.gtx280
 let gtx8800 = Gpcc_sim.Config.gtx8800
+
+(* worker-pool size: --jobs=N > GPCC_JOBS > the machine's domain count
+   (Pool.default_jobs). [jobs_requested] keeps what was asked for so the
+   JSON can record request and effective value separately. *)
 let jobs = ref (Gpcc_core.Pool.default_jobs ())
+let jobs_requested = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -61,10 +66,13 @@ let explore_cache = lazy (Gpcc_core.Explore_cache.open_dir ())
 let chosen_configs : (string, int * int) Hashtbl.t = Hashtbl.create 32
 
 (** Best (threads-per-block, merge-degree) for a workload on a GPU, found
-    by compiling every Section-4 configuration and test-running each on
-    the simulator at a probe size — the paper's empirical search, fanned
-    out across the domain pool, with measured scores served from the
-    persistent exploration cache when available. *)
+    by compiling every Section-4 configuration and running the
+    model-guided funnel ({!Gpcc_core.Explore.search_funnel}): analytic
+    pre-ranking on single-block probes, successive halving on partial
+    simulations, full measurement of the finalists only — fanned out
+    across the domain pool, with scores served from the persistent
+    exploration cache when available. Selects the same winner as the
+    exhaustive sweep (the invariant the test suite and CI enforce). *)
 let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
     int * int =
   let pn = probe_size w n in
@@ -73,15 +81,16 @@ let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
   | Some c -> c
   | None ->
       let k = Workload.parse w pn in
-      let measure = Workload.measure_gflops ~sample:1 ~streams:3 cfg w pn in
-      let cands, failures =
-        Gpcc_core.Explore.search_with_failures ~cfg ~jobs:!jobs
+      let cands, failures, _stats =
+        Gpcc_core.Explore.search_funnel ~cfg ~jobs:!jobs
           ~cache:(Lazy.force explore_cache)
           ~cache_prefix:("bench/sample1/streams3/" ^ key)
-          k ~measure
+          ~budget_sensitive:(Workload.budget_sensitive w pn) k
+          ~predict:(Workload.predict_gflops cfg w pn)
+          ~measure:(Workload.measure_gflops_blocks ~sample:1 ~streams:3 cfg w pn)
       in
       let chosen =
-        match Gpcc_core.Explore.best cands with
+        match Gpcc_core.Explore.best_measured cands with
         | Some b when b.score > Float.neg_infinity ->
             (b.target_block_threads, b.merge_degree)
         | _ ->
@@ -100,6 +109,7 @@ let best_config (cfg : Gpcc_sim.Config.t) (w : Workload.t) (n : int) :
                       (match f.failed_stage with
                       | `Compile -> "compile"
                       | `Verify -> "verify"
+                      | `Predict -> "predict"
                       | `Measure -> "measure")
                       f.reason))
               failures;
@@ -790,12 +800,159 @@ let amd_vectors () =
   note "paper Section 2a: the HD 5870 sustains 71 / 98 / 101 GB/s for float / float2 / float4 — the measured widths must reproduce that ordering"
 
 (* ------------------------------------------------------------------ *)
+(* Exploration funnel: model-guided pruned sweep vs exhaustive          *)
+(* ------------------------------------------------------------------ *)
+
+(* throwaway score-cache directories for the cold/warm timings (flat:
+   Explore_cache keeps no subdirectories) *)
+let remove_cache_dir dir =
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun n ->
+          try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        names);
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+(** Head-to-head of the exhaustive Section-4 sweep and the model-guided
+    funnel, per workload at the fig11 probe size: both sweeps run on
+    fresh throwaway caches (cold), the funnel a second time on its now
+    populated cache (warm). The row records the funnel statistics, the
+    prediction-vs-measurement rank correlation, and whether both sweeps
+    chose the same configuration — the invariant CI gates on. *)
+let explore () =
+  section "Design-space exploration: model-guided funnel vs exhaustive sweep";
+  let names =
+    if fast then [ "mm"; "rd" ]
+    else
+      List.map
+        (fun (w : Workload.t) -> w.name)
+        (Registry.all @ Registry.extras)
+  in
+  let cfg = gtx280 in
+  let timed f =
+    (* level the heap before each timed sweep: the large device arrays
+       of earlier runs otherwise bloat major collections into the next
+       measurement and the comparison stops being apples-to-apples *)
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "  %-14s | %9s %9s %9s | %4s %4s %5s %4s | %8s | %s\n"
+    "workload" "exhaust_s" "cold_s" "warm_s" "cand" "dist" "prune" "meas"
+    "spearman" "same winner";
+  let tot_ex = ref 0.0 and tot_cold = ref 0.0 and tot_warm = ref 0.0 in
+  List.iter
+    (fun name ->
+      let w = Registry.find_exn name in
+      try
+        let pn = probe_size w (fig11_size w) in
+        let k = Workload.parse w pn in
+        let measure = Workload.measure_gflops ~sample:1 ~streams:3 cfg w pn in
+        let measure_blocks =
+          Workload.measure_gflops_blocks ~sample:1 ~streams:3 cfg w pn
+        in
+        let predict = Workload.predict_gflops cfg w pn in
+        let key =
+          Printf.sprintf "%s/%s/%d" cfg.Gpcc_sim.Config.name w.name pn
+        in
+        let tmp tag =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "gpcc-explore-%d-%s-%s" (Unix.getpid ()) w.name tag)
+        in
+        let ex_dir = tmp "ex" and fu_dir = tmp "funnel" in
+        let (ex_cands, _), ex_s =
+          timed (fun () ->
+              Gpcc_core.Explore.search_with_failures ~cfg ~jobs:!jobs
+                ~cache:(Gpcc_core.Explore_cache.open_dir ~dir:ex_dir ())
+                ~cache_prefix:key k ~measure)
+        in
+        let run_funnel () =
+          (* a fresh handle each time: warm must hit the disk, not the
+             previous handle's in-memory memo *)
+          Gpcc_core.Explore.search_funnel ~cfg ~jobs:!jobs
+            ~cache:(Gpcc_core.Explore_cache.open_dir ~dir:fu_dir ())
+            ~cache_prefix:key
+            ~budget_sensitive:(Workload.budget_sensitive w pn)
+            k ~predict ~measure:measure_blocks
+        in
+        let (fu_cands, _, stats), cold_s = timed run_funnel in
+        let _, warm_s = timed run_funnel in
+        remove_cache_dir ex_dir;
+        remove_cache_dir fu_dir;
+        let config_of = function
+          | Some (c : Gpcc_core.Explore.candidate) ->
+              (c.target_block_threads, c.merge_degree, c.score)
+          | None -> (0, 0, Float.neg_infinity)
+        in
+        let et, ed, es = config_of (Gpcc_core.Explore.best ex_cands) in
+        let ft, fd, fs = config_of (Gpcc_core.Explore.best_measured fu_cands) in
+        let matched = et = ft && ed = fd in
+        tot_ex := !tot_ex +. ex_s;
+        tot_cold := !tot_cold +. cold_s;
+        tot_warm := !tot_warm +. warm_s;
+        let config t d =
+          Json_out.Obj
+            [
+              ("threads_per_block", Json_out.Int t);
+              ("merge_degree", Json_out.Int d);
+            ]
+        in
+        Record.add
+          [
+            ("workload", Json_out.Str w.name);
+            ("gpu", Json_out.Str cfg.Gpcc_sim.Config.name);
+            ("size", Json_out.Int pn);
+            ("candidates", Json_out.Int stats.f_configs);
+            ("distinct", Json_out.Int stats.f_distinct);
+            ("predicted", Json_out.Int stats.f_predicted);
+            ("pruned", Json_out.Int stats.f_pruned);
+            ("halving_rungs", Json_out.Int stats.f_rungs);
+            ("partial_runs", Json_out.Int stats.f_partial_runs);
+            ("fully_measured", Json_out.Int stats.f_measured);
+            ("spearman", Json_out.Float stats.f_spearman);
+            ("exhaustive_wall_s", Json_out.Float ex_s);
+            ("funnel_cold_wall_s", Json_out.Float cold_s);
+            ("funnel_warm_wall_s", Json_out.Float warm_s);
+            ("exhaustive_config", config et ed);
+            ("exhaustive_gflops", Json_out.Float es);
+            ("funnel_config", config ft fd);
+            ("funnel_gflops", Json_out.Float fs);
+            ("winner_match", Json_out.Bool matched);
+          ];
+        Printf.printf
+          "  %-14s | %9.2f %9.2f %9.2f | %4d %4d %5d %4d | %8.2f | %s\n%!"
+          w.name ex_s cold_s warm_s stats.f_configs stats.f_distinct
+          stats.f_pruned stats.f_measured stats.f_spearman
+          (if matched then Printf.sprintf "yes (%d,%d)" ft fd
+           else Printf.sprintf "NO (%d,%d) vs (%d,%d)" ft fd et ed)
+      with e ->
+        Record.add
+          [
+            ("workload", Json_out.Str w.name);
+            ("gpu", Json_out.Str cfg.Gpcc_sim.Config.name);
+            ("error", Json_out.Str (Printexc.to_string e));
+          ];
+        Printf.printf "  %-14s | error: %s\n%!" w.name (Printexc.to_string e))
+    names;
+  Printf.printf
+    "  total sweep wall-clock: exhaustive %.2fs | funnel cold %.2fs (%.1fx) | funnel warm %.2fs\n"
+    !tot_ex !tot_cold
+    (!tot_ex /. Float.max 1e-9 !tot_cold)
+    !tot_warm;
+  note
+    "gate: the funnel must select the exhaustive winner while fully measuring only the stage-1 survivors (single-phase) or the final halving rung (multi-phase)"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
     ("table1", table1); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15); ("fig16", fig16);
-    ("fig17_fft", fig17_fft); ("ablations", ablations);
+    ("fig17_fft", fig17_fft); ("ablations", ablations); ("explore", explore);
     ("interp", interp); ("amd_vectors", amd_vectors); ("bechamel", bechamel);
   ]
 
@@ -839,6 +996,8 @@ let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
          ("schema", Json_out.Str "gpcc-bench-v1");
          ("section", Json_out.Str name);
          ("mode", Json_out.Str (if fast then "fast" else "full"));
+         ( "jobs_requested",
+           Json_out.Int (Option.value ~default:!jobs !jobs_requested) );
          ("jobs", Json_out.Int !jobs);
          ( "interp_backend",
            Json_out.Str
@@ -870,7 +1029,9 @@ let () =
                int_of_string_opt
                  (String.sub a (i + 1) (String.length a - i - 1))
              with
-            | Some n when n >= 1 -> jobs := n
+            | Some n when n >= 1 ->
+                jobs_requested := Some n;
+                jobs := n
             | _ -> Printf.eprintf "ignoring bad %s (want --jobs=N)\n" a);
             false)
         | _ -> true)

@@ -173,12 +173,12 @@ let check_cmd =
 (* --- explore --- *)
 
 let explore_cmd =
-  let run cfg jobs file =
+  let run cfg jobs prune threshold file =
     handle_errors (fun () ->
         let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
         (* score by static occupancy x inverse instruction estimate when no
            workload data is attached; kernel versions are still printed *)
-        let measure kernel launch =
+        let static_measure kernel launch =
           let regs = Gpcc_analysis.Regcount.estimate kernel in
           let shmem = Gpcc_analysis.Regcount.shared_bytes kernel in
           let occ =
@@ -189,7 +189,56 @@ let explore_cmd =
           float_of_int occ.active_warps
         in
         let cands, failures =
-          Gpcc_core.Explore.search_with_failures ~cfg ~jobs k ~measure
+          if not prune then
+            Gpcc_core.Explore.search_with_failures ~cfg ~jobs k
+              ~measure:static_measure
+          else begin
+            (* --prune runs the model-guided funnel on the simulator over
+               zero-initialized device memory (the tool has no workload
+               inputs): analytic ranking on single-block probes, then
+               successive halving on partial simulations *)
+            let predict kernel launch =
+              let mem = Gpcc_sim.Devmem.of_kernel kernel in
+              let r = Gpcc_sim.Launch.run_block cfg kernel launch mem in
+              let t = r.Gpcc_sim.Launch.timing in
+              let occ = t.Gpcc_sim.Timing.occupancy in
+              let probe =
+                {
+                  Gpcc_analysis.Cost_model.p_gflops = t.gflops;
+                  p_bound = t.bound;
+                  p_active_warps = occ.active_warps;
+                  p_blocks_per_sm = occ.blocks_per_sm;
+                  p_reg_spill = occ.reg_spill;
+                  p_waves = t.waves;
+                  p_total_blocks = Gpcc_ast.Ast.total_blocks launch;
+                }
+              in
+              (Gpcc_analysis.Cost_model.predict probe).score
+            in
+            let measure ?blocks kernel launch =
+              let mem = Gpcc_sim.Devmem.of_kernel kernel in
+              (Gpcc_sim.Launch.run
+                 ~mode:(Gpcc_sim.Launch.Sampled 1)
+                 ~streams:3 ?block_budget:blocks cfg kernel launch mem)
+                .timing
+                .gflops
+            in
+            let budget_sensitive =
+              List.length (Gpcc_sim.Launch.phases_of_body k.k_body) > 1
+            in
+            let cands, failures, stats =
+              Gpcc_core.Explore.search_funnel ~cfg ~jobs
+                ~prune_threshold:threshold ~budget_sensitive k ~predict
+                ~measure
+            in
+            Printf.eprintf
+              "funnel: %d configs, %d distinct, %d pruned by the model, %d \
+               halving rungs (%d partial runs), %d fully measured, spearman \
+               %.2f\n"
+              stats.f_configs stats.f_distinct stats.f_pruned stats.f_rungs
+              stats.f_partial_runs stats.f_measured stats.f_spearman;
+            (cands, failures)
+          end
         in
         let cands = Gpcc_core.Explore.distinct cands in
         List.iter
@@ -199,6 +248,7 @@ let explore_cmd =
               (match f.failed_stage with
               | `Compile -> "compile"
               | `Verify -> "verify"
+              | `Predict -> "predict"
               | `Measure -> "measure")
               f.reason)
           failures;
@@ -216,18 +266,53 @@ let explore_cmd =
             (List.length cands);
           exit 1
         end;
-        Printf.printf "%-8s %-8s %-10s %-8s\n" "threads" "merge" "score" "launch";
+        Printf.printf "%-8s %-8s %-10s %-14s %-8s\n" "threads" "merge" "score"
+          "provenance" "launch";
         List.iter
           (fun (c : Gpcc_core.Explore.candidate) ->
-            Printf.printf "%-8d %-8d %-10.1f (%d,%d)x(%d,%d)\n"
+            Printf.printf "%-8d %-8d %-10.1f %-14s (%d,%d)x(%d,%d)\n"
               c.target_block_threads c.merge_degree c.score
+              (match c.provenance with
+              | `Measured -> "measured"
+              | `Halved r -> Printf.sprintf "halved@%d" r
+              | `Pruned -> "pruned"
+              | `Predicted -> "predicted")
               c.result.launch.grid_x c.result.launch.grid_y
               c.result.launch.block_x c.result.launch.block_y)
           cands)
   in
+  let prune =
+    Arg.(
+      value
+      & vflag false
+          [
+            ( true,
+              info [ "prune" ]
+                ~doc:
+                  "Score candidates with the model-guided funnel (analytic \
+                   pre-ranking on single-block simulator probes, successive \
+                   halving on partial simulations, full measurement of the \
+                   finalists) instead of the static occupancy score. Device \
+                   memory is zero-initialized." );
+            ( false,
+              info [ "no-prune" ]
+                ~doc:"Static occupancy scoring of every candidate (default)."
+            );
+          ])
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float Gpcc_core.Explore.default_prune_threshold
+      & info [ "prune-threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "With $(b,--prune): discard candidates whose predicted score is \
+             below FRACTION of the best prediction (0 disables pruning, 1 \
+             keeps only ties with the best).")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc:"Enumerate the design space of merge configurations")
-    Term.(const run $ gpu_arg $ jobs_arg $ file_arg)
+    Term.(const run $ gpu_arg $ jobs_arg $ prune $ threshold $ file_arg)
 
 
 (* --- lint --- *)

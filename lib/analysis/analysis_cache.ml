@@ -155,7 +155,11 @@ let regcount (t : t) (k : Ast.kernel) : int * int =
    the full kernel text as a collision guard. Any read or write failure
    degrades to recomputation. *)
 
-let verify_format = "gpcc-verify-v1"
+(* v2: a plain-text header line precedes the marshalled payload, so a
+   wrong-format or truncated file is rejected before [Marshal.from_channel]
+   ever touches it (unmarshalling a torn blob can raise, or worse, read
+   garbage that happens to have a valid header word) *)
+let verify_format = "gpcc-verify-v2"
 
 let verify_disk_dir =
   lazy
@@ -178,18 +182,33 @@ let verify_disk_read (path : string) (full : string) :
   match open_in_bin path with
   | exception Sys_error _ -> None
   | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match
-            (Marshal.from_channel ic
-              : string * string * Verify.diagnostic list)
-          with
-          | v, stored, ds when v = verify_format && String.equal stored full
-            ->
-              Some ds
-          | _ -> None
-          | exception _ -> None)
+      let verdict =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> `Corrupt
+            | header when not (String.equal header verify_format) ->
+                (* old format or garbage: either way the file can never
+                   be read again, reclaim it *)
+                `Corrupt
+            | _ -> (
+                match
+                  (Marshal.from_channel ic
+                    : string * Verify.diagnostic list)
+                with
+                | stored, ds when String.equal stored full -> `Hit ds
+                | _ -> `Collision (* keep: guards a digest collision *)
+                | exception _ -> `Corrupt))
+      in
+      match verdict with
+      | `Hit ds -> Some ds
+      | `Collision -> None
+      | `Corrupt ->
+          (* truncated by a killed writer or a full disk: a corrupt
+             verdict must not kill (or re-poison) every later sweep *)
+          (try Sys.remove path with Sys_error _ -> ());
+          None
 
 let verify_tmp_seq = Atomic.make 0
 
@@ -204,7 +223,9 @@ let verify_disk_write (path : string) (full : string)
     in
     let oc = open_out_bin tmp in
     (try
-       Marshal.to_channel oc (verify_format, full, ds) [];
+       output_string oc verify_format;
+       output_char oc '\n';
+       Marshal.to_channel oc (full, ds) [];
        close_out oc
      with e ->
        close_out_noerr oc;

@@ -1,0 +1,109 @@
+(** Analytic cost model for design-space pre-ranking. See the mli for
+    the modelling rationale. *)
+
+type probe = {
+  p_gflops : float;
+  p_bound : string;
+  p_active_warps : int;
+  p_blocks_per_sm : int;
+  p_reg_spill : bool;
+  p_waves : int;
+  p_total_blocks : int;
+}
+
+type prediction = {
+  score : float;
+  rationale : string;
+}
+
+(* The simulator's spill slowdown is a flat factor on cycles; the local
+   -memory traffic a real spill adds is not charged, so probes of
+   spilling configurations read high. *)
+let spill_derate = 0.5
+
+(* A single block's transaction stream always covers its partitions
+   evenly (partition efficiency 1.0), so memory-bound probes are
+   optimistic relative to the measured multi-block run. *)
+let memory_optimism = 0.9
+
+let predict (p : probe) : prediction =
+  let base = Float.max 0.0 p.p_gflops in
+  let score, note =
+    if p.p_reg_spill then (base *. spill_derate, "register-spill derated")
+    else if String.equal p.p_bound "memory" then
+      (base *. memory_optimism, "memory-bound, camping-blind probe")
+    else (base, p.p_bound ^ "-bound")
+  in
+  {
+    score;
+    rationale =
+      Printf.sprintf "%s; %d warps, %d blocks/SM, %d wave%s" note
+        p.p_active_warps p.p_blocks_per_sm p.p_waves
+        (if p.p_waves = 1 then "" else "s");
+  }
+
+let keep ~(threshold : float) ~(best : float) (score : float) : bool =
+  if best <= 0.0 then true else score >= threshold *. best
+
+(* Stable selection: sort by score only, descending; [List.stable_sort]
+   leaves equal scores in input order, so the earlier candidate makes
+   the cut on a tie — the same earliest-wins rule [Explore.best] uses. *)
+let halve (xs : ('a * float) list) : ('a * float) list =
+  match xs with
+  | [] | [ _ ] -> xs
+  | xs ->
+      let ranked =
+        List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) xs
+      in
+      let n_keep = (List.length xs + 1) / 2 in
+      let kept = List.filteri (fun i _ -> i < n_keep) ranked in
+      (* report survivors in input order, not rank order, so downstream
+         tie-breaks stay deterministic whatever the rung scores were *)
+      List.filter (fun x -> List.memq x kept) xs
+
+let initial_budget ~(total : int) : int = max 1 (total / 8)
+let next_budget ~(total : int) (b : int) : int = min total (max (b * 4) 1)
+
+(* --- Spearman rank correlation ------------------------------------- *)
+
+(* average ranks (1-based) with ties sharing the mean of their span *)
+let ranks (xs : float array) : float array =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare xs.(i) xs.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j hold equal values: average rank *)
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman (pairs : (float * float) list) : float =
+  let n = List.length pairs in
+  if n < 2 then 0.0
+  else begin
+    let xs = Array.of_list (List.map fst pairs) in
+    let ys = Array.of_list (List.map snd pairs) in
+    let rx = ranks xs and ry = ranks ys in
+    let nf = float_of_int n in
+    let mean a = Array.fold_left ( +. ) 0.0 a /. nf in
+    let mx = mean rx and my = mean ry in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = rx.(i) -. mx and dy = ry.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx <= 0.0 || !syy <= 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)
+  end

@@ -1,0 +1,80 @@
+(** Analytic cost model for design-space pre-ranking.
+
+    The Section-4 empirical search measures every generated kernel
+    version on the simulator; most of that work is wasted on versions a
+    cheap model can already tell apart ("Comprehensive Optimization of
+    Parametric Kernels for GPUs" and the kernel-fusion literature both
+    prune parametric spaces analytically before timing anything). This
+    module turns the scalar summary of a *single-block probe* — one
+    representative thread block interpreted under {!Gpcc_sim.Launch} with
+    a block budget of 1, summarised by the occupancy and timing models —
+    into a predicted whole-grid score, and provides the pruning and
+    rank-quality arithmetic the funnel in [Explore] is built on.
+
+    The module deliberately depends on nothing from [gpcc.sim] (the
+    simulator already depends on [gpcc.analysis]); callers flatten
+    [Occupancy.t] / [Timing.result] into the scalar {!probe} record. *)
+
+type probe = {
+  p_gflops : float;
+      (** whole-grid GFLOPS estimate of the timing model, fed with the
+          probe block's statistics *)
+  p_bound : string;
+      (** ["compute"] / ["memory"] / ["latency"] / ["register-spill"] *)
+  p_active_warps : int;  (** occupancy: warps resident on one SM *)
+  p_blocks_per_sm : int;
+  p_reg_spill : bool;
+  p_waves : int;  (** resident-block waves needed to cover the grid *)
+  p_total_blocks : int;
+}
+
+type prediction = {
+  score : float;  (** predicted GFLOPS, higher is better *)
+  rationale : string;  (** one-line explanation for reports *)
+}
+
+val predict : probe -> prediction
+(** Predicted whole-grid score of a candidate from its probe. The base
+    is the timing model's own estimate; on top of it the model derates
+
+    - register-spilling configurations (the simulator's flat spill
+      slowdown does not charge the spilled local-memory traffic, so the
+      probe flatters them), and
+    - memory-bound configurations (one block cannot exhibit inter-block
+      partition camping, so the probe's partition efficiency is an
+      optimistic 1.0).
+
+    Both derates shift scores {e between} pressure classes only; the
+    ranking {e within} a class is exactly the timing model's. *)
+
+val spill_derate : float
+(** Multiplier applied to register-spilling probes (< 1). *)
+
+val memory_optimism : float
+(** Multiplier applied to memory-bound probes (< 1): the share of peak
+    bandwidth a single-block probe tends to overestimate by. *)
+
+val keep : threshold:float -> best:float -> float -> bool
+(** [keep ~threshold ~best score]: should a candidate with predicted
+    [score] survive stage 1, given the best prediction [best]? True iff
+    [score >= threshold *. best]. Degenerate sweeps ([best <= 0], e.g.
+    flop-free kernels where every prediction is 0) keep everything —
+    the model has no evidence to prune on. *)
+
+val halve : ('a * float) list -> ('a * float) list
+(** One successive-halving rung: keep the better-scoring half (ties cut
+    in input order, so the earlier candidate survives — matching the
+    exhaustive search's earliest-wins tie-break), at least one. The
+    result preserves the input order of the survivors. *)
+
+val next_budget : total:int -> int -> int
+(** Budget schedule for successive halving: each rung simulates four
+    times the blocks of the previous one, clamped to [total]. *)
+
+val initial_budget : total:int -> int
+(** First-rung block budget: an eighth of the grid, at least one. *)
+
+val spearman : (float * float) list -> float
+(** Spearman rank correlation of (predicted, measured) pairs, with
+    average ranks for ties. Returns 0 when fewer than two pairs or when
+    either side is constant (no ranking information). *)

@@ -44,9 +44,14 @@ let path_of_key (c : t) (key : string) : string =
     (Digest.to_hex (Digest.string (format_version ^ "\n" ^ key)) ^ ".score")
 
 (* entry file: line 1 the full key, line 2 the score in %h (lossless) *)
-let read_entry (path : string) (key : string) : float option =
+type entry_read =
+  | Hit of float
+  | Miss  (** no file, or a different key (digest-collision guard) *)
+  | Corrupt  (** torn / truncated / unparsable: the file is garbage *)
+
+let read_entry (path : string) (key : string) : entry_read =
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> Miss
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
@@ -56,10 +61,12 @@ let read_entry (path : string) (key : string) : float option =
             let score_line = input_line ic in
             (stored_key, score_line)
           with
-          | stored_key, score_line when String.equal stored_key key ->
-              float_of_string_opt (String.trim score_line)
-          | _ -> None
-          | exception End_of_file -> None)
+          | stored_key, score_line when String.equal stored_key key -> (
+              match float_of_string_opt (String.trim score_line) with
+              | Some s -> Hit s
+              | None -> Corrupt)
+          | _ -> Miss
+          | exception End_of_file -> Corrupt)
 
 let locked (c : t) (f : unit -> 'a) : 'a =
   Mutex.lock c.mutex;
@@ -71,11 +78,17 @@ let find (c : t) (key : string) : float option =
         match Hashtbl.find_opt c.memo key with
         | Some _ as s -> s
         | None -> (
-            match read_entry (path_of_key c key) key with
-            | Some s ->
+            let path = path_of_key c key in
+            match read_entry path key with
+            | Hit s ->
                 Hashtbl.replace c.memo key s;
                 Some s
-            | None -> None)
+            | Miss -> None
+            | Corrupt ->
+                (* a torn or truncated entry (killed writer, full disk)
+                   must not poison future runs: drop it and re-measure *)
+                (try Sys.remove path with Sys_error _ -> ());
+                None)
       in
       (match result with
       | Some _ -> c.hit_count <- c.hit_count + 1

@@ -30,7 +30,10 @@ val dir : t -> string
 
 val find : t -> string -> float option
 (** Look the key up, first in the in-memory memo, then on disk. Counts
-    a hit or a miss. Thread-safe. *)
+    a hit or a miss. A corrupt entry file (torn or truncated by a killed
+    writer or a full disk) is deleted and reported as a miss, so the
+    score is simply re-measured; a file whose stored key differs (an MD5
+    collision) is kept and reported as a miss. Thread-safe. *)
 
 val store : t -> string -> float -> unit
 (** Persist a score for a key (atomic write; also memoized in memory).

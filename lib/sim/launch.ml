@@ -177,9 +177,20 @@ let sim_seconds () =
     partition-efficiency estimate. [backend] defaults to
     {!backend_of_env}; [jobs] bounds the worker domains ([1] forces
     serial execution). [GPCC_CHECK=1] forces the serial reference
-    backend so the dynamic race checker sees every access. *)
-let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
-    (k : Ast.kernel) (launch : Ast.launch) (mem : Devmem.t) : result =
+    backend so the dynamic race checker sees every access.
+
+    [block_budget] caps how many blocks are actually interpreted
+    (partial simulation with early abort): [Full] runs only the prefix
+    of [b] linear block ids — multi-phase kernels still synchronise
+    that prefix at every grid barrier — and [Sampled] caps both the
+    statistics samples and the stream blocks. Per-block statistics are
+    averaged over the simulated blocks and [total]/[timing] are still
+    scaled to the whole grid, so the result remains a whole-grid
+    estimate; device memory, however, holds the output of a partial
+    execution and must not be checked against a reference. *)
+let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
+    (cfg : Config.t) (k : Ast.kernel) (launch : Ast.launch) (mem : Devmem.t) :
+    result =
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
@@ -206,6 +217,15 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
     List.init s (fun i -> i * wave / s) |> List.sort_uniq compare
   in
   let mode = if List.length phases > 1 then Full else mode in
+  let budget =
+    match block_budget with
+    | None -> nblocks
+    | Some b -> max 1 (min b nblocks)
+  in
+  (* NB: the budget must not thin the partition-stream set: those few
+     blocks are what keeps the camping estimate unbiased (a prefix of
+     linear ids systematically under-covers the partitions), and they
+     are a negligible share of the cost being capped *)
   let check = Interp.env_check () in
   let backend =
     if check then Reference
@@ -252,17 +272,19 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
   let per_block, streams, sampled =
     match mode with
     | Full ->
-        let in_stream = Array.make nblocks false in
+        (* under a block budget only the prefix of [budget] blocks runs
+           (early abort); statistics are averaged over that prefix *)
+        let in_stream = Array.make budget false in
         List.iter
-          (fun i -> if i < nblocks then in_stream.(i) <- true)
+          (fun i -> if i < budget then in_stream.(i) <- true)
           stream_ids;
         (* per-block statistics merged in block order at the end, so the
            parallel interleaving cannot perturb the totals *)
-        let bstats = Array.init nblocks (fun _ -> Stats.create ()) in
+        let bstats = Array.init budget (fun _ -> Stats.create ()) in
         (* create block state upfront so thread state persists across
            global-sync phases *)
         let blocks =
-          Array.init nblocks (fun i ->
+          Array.init budget (fun i ->
               let bx, by = block_coords launch i in
               make_block ~record_tx:in_stream.(i) bstats.(i) ~bidx:bx
                 ~bidy:by)
@@ -275,11 +297,11 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
               | None -> Array.iter (fun b -> exec_phase b p) blocks
               | Some pool ->
                   let nw = max 1 (Pool.size pool) in
-                  let nchunks = min nblocks (nw * 4) in
+                  let nchunks = min budget (nw * 4) in
                   let chunks =
                     List.init nchunks (fun ci ->
-                        (ci * nblocks / nchunks,
-                         ((ci + 1) * nblocks / nchunks) - 1))
+                        (ci * budget / nchunks,
+                         ((ci + 1) * budget / nchunks) - 1))
                   in
                   (* contiguous chunks in index order: Pool.map re-raises
                      the earliest failing chunk, whose first failure is
@@ -298,16 +320,16 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
         Array.iteri
           (fun i b -> if in_stream.(i) then streams := tx_stream b :: !streams)
           blocks;
-        ( Stats.scale (1.0 /. float_of_int nblocks) stats,
+        ( Stats.scale (1.0 /. float_of_int budget) stats,
           List.rev !streams,
-          nblocks )
+          budget )
     | Sampled n ->
         (* two sample sets: statistics come from blocks spread evenly over
            the whole grid (work can vary with the block id, e.g.
            triangular kernels); partition streams come from consecutive
            first-wave blocks, the set whose simultaneous traffic causes
            camping *)
-        let s = max 1 (min n nblocks) in
+        let s = max 1 (min n budget) in
         let spread =
           List.init s (fun i -> i * nblocks / s) |> List.sort_uniq compare
         in
@@ -374,3 +396,13 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs (cfg : Config.t)
     sampled_blocks = sampled;
     partition_eff;
   }
+
+(** Probe run for the exploration funnel's analytic pre-ranking: a
+    single representative block (linear id 0), serially, through every
+    phase. With one block there is a single transaction stream, so
+    [partition_eff] is always 1.0 — inter-block partition camping is
+    invisible to a probe, which is exactly what
+    {!Gpcc_analysis.Cost_model.memory_optimism} corrects for. *)
+let run_block ?backend (cfg : Config.t) (k : Ast.kernel)
+    (launch : Ast.launch) (mem : Devmem.t) : result =
+  run ~mode:Full ~streams:1 ?backend ~jobs:1 ~block_budget:1 cfg k launch mem

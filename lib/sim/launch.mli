@@ -54,12 +54,34 @@ val partition_efficiency : Config.t -> int array list -> float
     to {!backend_of_env}. [jobs] bounds the worker domains used to
     execute independent blocks of each phase in parallel ([1] forces
     serial; default [GPCC_JOBS] or the domain count). [GPCC_CHECK=1]
-    forces the serial reference backend. *)
+    forces the serial reference backend.
+
+    [block_budget] enables partial simulation with early abort: at most
+    that many blocks are interpreted ([Full]: the prefix of linear block
+    ids, still phase-synchronised at grid barriers; [Sampled]: caps the
+    representative sample — the partition-estimate streams are never
+    thinned, a prefix of linear ids would bias the camping estimate).
+    Statistics stay per-block averages and [total]/[timing] are still
+    whole-grid estimates, but device memory holds a partial execution —
+    never check it against a reference. *)
 val run :
   ?mode:mode ->
   ?streams:int ->
   ?backend:backend ->
   ?jobs:int ->
+  ?block_budget:int ->
+  Config.t ->
+  Gpcc_ast.Ast.kernel ->
+  Gpcc_ast.Ast.launch ->
+  Devmem.t ->
+  result
+
+(** One representative block (linear id 0), serially, through every
+    phase: the cheapest whole-grid performance estimate the simulator
+    can produce, used by the exploration funnel's analytic pre-ranking
+    stage. Equivalent to [run ~mode:Full ~block_budget:1 ~jobs:1]. *)
+val run_block :
+  ?backend:backend ->
   Config.t ->
   Gpcc_ast.Ast.kernel ->
   Gpcc_ast.Ast.launch ->

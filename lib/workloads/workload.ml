@@ -51,15 +51,18 @@ let naive_loc (w : t) : int =
 exception Check_failed of string
 
 (** Upload inputs, run the kernel, return the simulator result and the
-    output arrays. *)
-let execute ?(mode = Gpcc_sim.Launch.Full) ?streams (cfg : Gpcc_sim.Config.t)
-    (w : t) (n : int) (k : Ast.kernel) (launch : Ast.launch) :
+    output arrays. Under a [block_budget] only a prefix of the grid is
+    simulated: the result still estimates whole-grid performance, but
+    the outputs are partial — never reference-check them. *)
+let execute ?(mode = Gpcc_sim.Launch.Full) ?streams ?block_budget
+    (cfg : Gpcc_sim.Config.t) (w : t) (n : int) (k : Ast.kernel)
+    (launch : Ast.launch) :
     Gpcc_sim.Launch.result * (string -> float array) =
   let mem = Gpcc_sim.Devmem.of_kernel k in
   List.iter
     (fun (name, data) -> Gpcc_sim.Devmem.write mem name data)
     (w.inputs n);
-  let r = Gpcc_sim.Launch.run ~mode ?streams cfg k launch mem in
+  let r = Gpcc_sim.Launch.run ~mode ?streams ?block_budget cfg k launch mem in
   (r, fun name -> Gpcc_sim.Devmem.read mem name)
 
 (** Full-grid run checked against the CPU reference. *)
@@ -92,17 +95,87 @@ let check (cfg : Gpcc_sim.Config.t) (w : t) (n : int) (k : Ast.kernel)
     expected
 
 (** Simulated performance of a kernel on this workload (sampled blocks). *)
-let measure ?(sample = 4) ?streams (cfg : Gpcc_sim.Config.t) (w : t) (n : int)
-    (k : Ast.kernel) (launch : Ast.launch) : Gpcc_sim.Timing.result =
+let measure ?(sample = 4) ?streams ?block_budget (cfg : Gpcc_sim.Config.t)
+    (w : t) (n : int) (k : Ast.kernel) (launch : Ast.launch) :
+    Gpcc_sim.Timing.result =
   let r, _ =
-    execute ~mode:(Gpcc_sim.Launch.Sampled sample) ?streams cfg w n k launch
+    execute
+      ~mode:(Gpcc_sim.Launch.Sampled sample)
+      ?streams ?block_budget cfg w n k launch
   in
   r.timing
 
+(* The Explore sweep helpers below are applied to tens of kernel
+   versions of the SAME (workload, size): generating the (identical,
+   deterministic) input arrays on every call would dominate the sweep
+   for large sizes, so each returned closure generates them once at
+   construction and re-uploads. The arrays are only read (Devmem.write
+   copies into device memory), so sharing them across pool domains is
+   safe. *)
+let upload_run ?mode ?streams ?block_budget cfg inputs (k : Ast.kernel)
+    (launch : Ast.launch) : Gpcc_sim.Launch.result =
+  let mem = Gpcc_sim.Devmem.of_kernel k in
+  List.iter (fun (name, data) -> Gpcc_sim.Devmem.write mem name data) inputs;
+  Gpcc_sim.Launch.run ?mode ?streams ?block_budget cfg k launch mem
+
 (** GFLOPS measurement function for {!Gpcc_core.Explore}. *)
-let measure_gflops ?sample ?streams (cfg : Gpcc_sim.Config.t) (w : t) (n : int) :
+let measure_gflops ?(sample = 4) ?streams (cfg : Gpcc_sim.Config.t) (w : t)
+    (n : int) : Ast.kernel -> Ast.launch -> float =
+  let inputs = w.inputs n in
+  fun k launch ->
+    (upload_run ~mode:(Gpcc_sim.Launch.Sampled sample) ?streams cfg inputs k
+       launch)
+      .timing
+      .gflops
+
+(** Measurement function for {!Gpcc_core.Explore.search_funnel}: without
+    [blocks] it is exactly {!measure_gflops}; with [blocks] the same run
+    under a partial-simulation block budget (early abort after that many
+    blocks, whole-grid estimate scaled from the prefix). *)
+let measure_gflops_blocks ?(sample = 4) ?streams (cfg : Gpcc_sim.Config.t)
+    (w : t) (n : int) : ?blocks:int -> Ast.kernel -> Ast.launch -> float =
+  let inputs = w.inputs n in
+  fun ?blocks k launch ->
+    (upload_run
+       ~mode:(Gpcc_sim.Launch.Sampled sample)
+       ?streams ?block_budget:blocks cfg inputs k launch)
+      .timing
+      .gflops
+
+(** Analytic prediction function for {!Gpcc_core.Explore.search_funnel}'s
+    ranking stage: interpret one representative block
+    ({!Gpcc_sim.Launch.run_block}) on real inputs and feed the occupancy
+    and timing summary through {!Gpcc_analysis.Cost_model.predict}. *)
+let predict_gflops (cfg : Gpcc_sim.Config.t) (w : t) (n : int) :
     Ast.kernel -> Ast.launch -> float =
- fun k launch -> (measure ?sample ?streams cfg w n k launch).gflops
+  let inputs = w.inputs n in
+  fun k launch ->
+    let mem = Gpcc_sim.Devmem.of_kernel k in
+    List.iter (fun (name, data) -> Gpcc_sim.Devmem.write mem name data) inputs;
+    let r = Gpcc_sim.Launch.run_block cfg k launch mem in
+    let t = r.timing in
+    let occ = t.occupancy in
+    let probe =
+      {
+        Gpcc_analysis.Cost_model.p_gflops = t.gflops;
+        p_bound = t.bound;
+        p_active_warps = occ.active_warps;
+        p_blocks_per_sm = occ.blocks_per_sm;
+        p_reg_spill = occ.reg_spill;
+        p_waves = t.waves;
+        p_total_blocks = Ast.total_blocks launch;
+      }
+    in
+    (Gpcc_analysis.Cost_model.predict probe).score
+
+(** Whether a block budget actually cuts this workload's simulation
+    cost, i.e. whether {!Gpcc_core.Explore.search_funnel}'s halving
+    stage can save anything: kernels with grid-wide sync phases are
+    forced into [Full] mode, where [block_budget] aborts after a prefix
+    of blocks; single-phase kernels run [Sampled], which interprets a
+    handful of representative blocks no matter the budget. *)
+let budget_sensitive (w : t) (n : int) : bool =
+  List.length (Gpcc_sim.Launch.phases_of_body (parse w n).k_body) > 1
 
 (** Effective bandwidth in GB/s based on the algorithmic byte count (the
     paper uses this metric for transpose, which has no flops). *)

@@ -217,6 +217,171 @@ let test_cached_search_identical () =
         cands_cold cands_warm)
     [ 1; 4 ]
 
+(* --- the model-guided funnel --- *)
+
+let funnel_search ~jobs ?cache ?cache_prefix ?prune_threshold name n =
+  let w = Gpcc_workloads.Registry.find_exn name in
+  let k = Gpcc_workloads.Workload.parse w n in
+  Gpcc_core.Explore.search_funnel ~cfg:Util.cfg280 ~jobs ?cache ?cache_prefix
+    ?prune_threshold
+    ~budget_sensitive:(Gpcc_workloads.Workload.budget_sensitive w n)
+    k
+    ~predict:(Gpcc_workloads.Workload.predict_gflops Util.cfg280 w n)
+    ~measure:
+      (Gpcc_workloads.Workload.measure_gflops_blocks ~sample:1 ~streams:3
+         Util.cfg280 w n)
+
+(* the tentpole invariant: over every registry workload the pruned
+   funnel must select the same configuration as the exhaustive sweep,
+   while fully measuring strictly fewer versions than it compiled *)
+let test_funnel_matches_exhaustive () =
+  List.iter
+    (fun (w : Gpcc_workloads.Workload.t) ->
+      let name = w.name and n = w.test_size in
+      let _, ex_best = search_best ~jobs:1 name n in
+      let cands, _, stats = funnel_search ~jobs:1 name n in
+      let fu_best = Gpcc_core.Explore.best_measured cands in
+      (match (ex_best, fu_best) with
+      | Some e, Some f ->
+          Alcotest.(check (pair int int))
+            (name ^ ": funnel picks the exhaustive winner")
+            (e.target_block_threads, e.merge_degree)
+            (f.target_block_threads, f.merge_degree);
+          Alcotest.check score_t
+            (name ^ ": winner's score is the full measurement")
+            e.score f.score
+      | _ -> Alcotest.failf "%s: a sweep found no winner" name);
+      Alcotest.(check bool)
+        (name ^ ": fully measured fewer than compiled")
+        true
+        (stats.f_measured < stats.f_configs);
+      Alcotest.(check bool)
+        (name ^ ": probed every distinct version")
+        true
+        (stats.f_predicted <= stats.f_distinct))
+    (Gpcc_workloads.Registry.all @ Gpcc_workloads.Registry.extras)
+
+let test_funnel_provenance () =
+  let cands, _, stats = funnel_search ~jobs:1 "mm" 64 in
+  let count p =
+    List.length
+      (List.filter (fun (c : Gpcc_core.Explore.candidate) -> p c.provenance)
+         cands)
+  in
+  Alcotest.(check bool)
+    "at least one fully measured candidate" true
+    (count (fun p -> p = `Measured) > 0);
+  Alcotest.(check bool)
+    "pruning happened iff stats say so" true
+    (stats.f_pruned > 0 = (count (fun p -> p = `Pruned) > 0));
+  (* every candidate carries some provenance and a comparable score *)
+  List.iter
+    (fun (c : Gpcc_core.Explore.candidate) ->
+      match c.provenance with
+      | `Measured | `Halved _ | `Pruned | `Predicted -> ())
+    cands;
+  match Gpcc_core.Explore.best_measured cands with
+  | Some b ->
+      Alcotest.(check bool)
+        "winner is a full measurement" true
+        (b.provenance = `Measured)
+  | None -> Alcotest.fail "no winner"
+
+let test_funnel_warm_cache () =
+  let dir = fresh_cache_dir () in
+  let run () =
+    (* a fresh handle each time: warm must hit the disk, not a
+       previous handle's in-memory memo *)
+    let cache = Gpcc_core.Explore_cache.open_dir ~dir () in
+    let r = funnel_search ~jobs:1 ~cache ~cache_prefix:"t/mm/64" "mm" 64 in
+    (r, cache)
+  in
+  let (cold_cands, _, _), _ = run () in
+  let (warm_cands, _, _), warm_cache = run () in
+  Alcotest.(check int) "warm funnel never re-measures" 0
+    (Gpcc_core.Explore_cache.misses warm_cache);
+  List.iter2
+    (fun (a : Gpcc_core.Explore.candidate) (b : Gpcc_core.Explore.candidate) ->
+      Alcotest.check score_t
+        (Printf.sprintf "identical score t=%d d=%d" a.target_block_threads
+           a.merge_degree)
+        a.score b.score;
+      Alcotest.(check bool)
+        (Printf.sprintf "identical provenance t=%d d=%d"
+           a.target_block_threads a.merge_degree)
+        true
+        (a.provenance = b.provenance))
+    cold_cands warm_cands
+
+(* a funnel and an exhaustive sweep share full-measurement entries: the
+   funnel's finals must be served from the exhaustive run's cache *)
+let test_funnel_shares_full_cache () =
+  let dir = fresh_cache_dir () in
+  let cache = Gpcc_core.Explore_cache.open_dir ~dir () in
+  let _ = search_best ~jobs:1 ~cache ~cache_prefix:"t/mm/64" "mm" 64 in
+  let full_entries = Gpcc_core.Explore_cache.entries cache in
+  let cache2 = Gpcc_core.Explore_cache.open_dir ~dir () in
+  let cands, _, stats =
+    funnel_search ~jobs:1 ~cache:cache2 ~cache_prefix:"t/mm/64" "mm" 64
+  in
+  (* probes are new entries; full measurements are not *)
+  Alcotest.(check int)
+    "only probe entries added"
+    (full_entries + stats.f_predicted)
+    (Gpcc_core.Explore_cache.entries cache2);
+  match Gpcc_core.Explore.best_measured cands with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no winner"
+
+(* --- cache corruption hardening --- *)
+
+let test_cache_corrupt_entry () =
+  let dir = fresh_cache_dir () in
+  let c = Gpcc_core.Explore_cache.open_dir ~dir () in
+  Gpcc_core.Explore_cache.store c "k1" 42.0;
+  let file =
+    match Sys.readdir dir with
+    | [| f |] -> Filename.concat dir f
+    | _ -> Alcotest.fail "expected exactly one entry file"
+  in
+  let overwrite content =
+    let oc = open_out_bin file in
+    output_string oc content;
+    close_out oc
+  in
+  let check_dropped what =
+    (* a fresh handle, so the in-memory memo cannot mask the disk *)
+    let c2 = Gpcc_core.Explore_cache.open_dir ~dir () in
+    Alcotest.(check (option (float 0.)))
+      (what ^ " reads as a miss") None
+      (Gpcc_core.Explore_cache.find c2 "k1");
+    Alcotest.(check bool)
+      (what ^ " is deleted on read") false (Sys.file_exists file)
+  in
+  (* truncated: the writer died after the key line *)
+  overwrite "k1\n";
+  check_dropped "truncated entry";
+  Gpcc_core.Explore_cache.store c "k1" 42.0;
+  (* unparsable score *)
+  overwrite "k1\nnot-a-float\n";
+  check_dropped "garbage score";
+  (* after deletion the slot is reusable *)
+  Gpcc_core.Explore_cache.store c "k1" 7.5;
+  let c3 = Gpcc_core.Explore_cache.open_dir ~dir () in
+  Alcotest.(check (option (float 1e-12)))
+    "re-stored after corruption" (Some 7.5)
+    (Gpcc_core.Explore_cache.find c3 "k1");
+  (* a key mismatch (digest collision guard) is a miss but NOT deleted *)
+  let oc = open_out_bin file in
+  output_string oc "some-other-key\n0x1p+1\n";
+  close_out oc;
+  let c4 = Gpcc_core.Explore_cache.open_dir ~dir () in
+  Alcotest.(check (option (float 0.)))
+    "foreign key is a miss" None
+    (Gpcc_core.Explore_cache.find c4 "k1");
+  Alcotest.(check bool)
+    "foreign entry is preserved" true (Sys.file_exists file)
+
 let suite =
   ( "explore",
     [
@@ -233,4 +398,13 @@ let suite =
       Alcotest.test_case "cache: round-trip" `Quick test_cache_roundtrip;
       Alcotest.test_case "cache: cached search returns identical scores"
         `Slow test_cached_search_identical;
+      Alcotest.test_case "funnel: same winner as exhaustive (all workloads)"
+        `Slow test_funnel_matches_exhaustive;
+      Alcotest.test_case "funnel: provenance" `Slow test_funnel_provenance;
+      Alcotest.test_case "funnel: warm cache never re-measures" `Slow
+        test_funnel_warm_cache;
+      Alcotest.test_case "funnel: shares full measurements with exhaustive"
+        `Slow test_funnel_shares_full_cache;
+      Alcotest.test_case "cache: corrupt entries dropped and deleted" `Quick
+        test_cache_corrupt_entry;
     ] )

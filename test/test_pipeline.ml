@@ -241,6 +241,51 @@ let test_verify_disk_round_trip () =
   Alcotest.(check bool) "first instance matches Verify.check" true (d1 = fresh);
   Alcotest.(check bool) "disk round trip is lossless" true (d2 = fresh)
 
+(* --- a corrupt on-disk verdict is dropped and recomputed, not fatal --- *)
+
+let test_verify_disk_corruption () =
+  let w = Registry.find_exn "vv" in
+  let k = Workload.parse w w.test_size in
+  let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
+  let fresh = Gpcc_analysis.Verify.check ~launch k in
+  let d1 = Cache.verify (Cache.create ()) ~launch k in
+  Alcotest.(check bool) "baseline verdict" true (d1 = fresh);
+  (* the verdict file location mirrors Analysis_cache.verify *)
+  let root =
+    match Sys.getenv_opt "GPCC_CACHE_DIR" with
+    | Some d when String.trim d <> "" -> d
+    | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
+  in
+  let full = Gpcc_ast.Pp.kernel_to_string ~launch k in
+  let path =
+    Filename.concat
+      (Filename.concat root "verify")
+      (Digest.to_hex (Digest.string full) ^ ".verdict")
+  in
+  Alcotest.(check bool) "verdict file exists" true (Sys.file_exists path);
+  let overwrite content =
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc
+  in
+  let recovered what =
+    (* a fresh instance must treat the damaged file as a miss, recompute
+       the verdict, and leave a readable file behind *)
+    let d = Cache.verify (Cache.create ()) ~launch k in
+    Alcotest.(check bool) (what ^ ": verdict recomputed") true (d = fresh);
+    let d2 = Cache.verify (Cache.create ()) ~launch k in
+    Alcotest.(check bool) (what ^ ": rewritten file round-trips") true
+      (d2 = fresh)
+  in
+  overwrite "";
+  recovered "empty file";
+  overwrite "gpcc-verify-v2\n";
+  recovered "truncated after header";
+  overwrite "gpcc-verify-v1\nstale-format-payload";
+  recovered "old format version";
+  overwrite "gpcc-verify-v2\nthis is not marshalled data";
+  recovered "garbage payload"
+
 (* --- remarks: structure and JSON emission --- *)
 
 let test_remarks_structure () =
@@ -338,6 +383,8 @@ let suite =
         test_lru_eviction_keeps_hot_entries;
       Alcotest.test_case "verifier verdicts: disk round trip" `Quick
         test_verify_disk_round_trip;
+      Alcotest.test_case "verifier verdicts: corrupt files recovered" `Quick
+        test_verify_disk_corruption;
       Alcotest.test_case "remarks: structure and JSON" `Quick
         test_remarks_structure;
       Alcotest.test_case "pipeline surgery: disable / with_passes / describe"

@@ -354,6 +354,64 @@ let test_occupancy_limits () =
   let o = occ ~regs:100 ~shared:0 ~tpb:512 in
   Alcotest.(check bool) "spill" true o.reg_spill
 
+(* the cost model's pre-ranking keys on exactly these fields: the spill
+   flag, the shared-memory limit label and the bound classification must
+   stay trustworthy for the exploration funnel to prune safely *)
+let test_occupancy_spill_classification () =
+  let occ ~regs ~shared ~tpb =
+    Occupancy.calc cfg280 ~regs_per_thread:regs ~shared_per_block:shared
+      ~threads_per_block:tpb
+  in
+  (* 100 regs x 512 threads = 51200 > the 16384-register file: even one
+     block does not fit, so the block still "runs" but spills *)
+  let o = occ ~regs:100 ~shared:0 ~tpb:512 in
+  Alcotest.(check bool) "spill flag" true o.reg_spill;
+  Alcotest.(check int) "spilling block still scheduled" 1 o.blocks_per_sm;
+  Alcotest.(check string) "spill label wins" "register-spill" o.limited_by;
+  (* exact fit: 32 regs x 512 threads = 16384 — no spill *)
+  let o = occ ~regs:32 ~shared:0 ~tpb:512 in
+  Alcotest.(check bool) "exact fit is not a spill" false o.reg_spill;
+  Alcotest.(check int) "exact fit runs one block" 1 o.blocks_per_sm;
+  (* shared memory binds before registers or threads here *)
+  let o = occ ~regs:10 ~shared:6000 ~tpb:64 in
+  Alcotest.(check string) "shared label" "shared-memory" o.limited_by;
+  Alcotest.(check int) "16KB / 6000B = 2 blocks" 2 o.blocks_per_sm
+
+let test_timing_spill_slowdown () =
+  let launch = launch1 ~gx:64 ~bx:512 () in
+  let s = Stats.create () in
+  s.Stats.warp_insts <- 1000.0;
+  s.Stats.flops <- 10000.0;
+  s.Stats.gld_bytes <- 1.0e6;
+  s.Stats.gld_requests <- 100.0;
+  let est regs =
+    Timing.estimate cfg280 ~per_block:s ~launch ~regs_per_thread:regs
+      ~shared_per_block:0 ~partition_eff:1.0 ~mlp:2.0
+  in
+  let fits = est 32 and spills = est 100 in
+  Alcotest.(check string) "bound overridden" "register-spill" spills.bound;
+  Alcotest.(check bool) "spill slows the kernel" true
+    (spills.time_ms > fits.time_ms);
+  Alcotest.(check bool) "no false spill" true (fits.bound <> "register-spill")
+
+let test_timing_bound_classification () =
+  let launch = launch1 ~gx:64 ~bx:256 () in
+  let mk ~insts ~bytes ~requests =
+    let s = Stats.create () in
+    s.Stats.warp_insts <- insts;
+    s.Stats.flops <- 1000.0;
+    s.Stats.gld_bytes <- bytes;
+    s.Stats.gld_requests <- requests;
+    Timing.estimate cfg280 ~per_block:s ~launch ~regs_per_thread:16
+      ~shared_per_block:0 ~partition_eff:1.0 ~mlp:1.0
+  in
+  Alcotest.(check string) "instruction-heavy" "compute"
+    (mk ~insts:1.0e6 ~bytes:1.0e4 ~requests:10.0).bound;
+  Alcotest.(check string) "byte-heavy" "memory"
+    (mk ~insts:100.0 ~bytes:1.0e8 ~requests:100.0).bound;
+  Alcotest.(check string) "request-heavy" "latency"
+    (mk ~insts:100.0 ~bytes:1.0e4 ~requests:1.0e4).bound
+
 let test_occupancy_8800_smaller () =
   let o280 =
     Occupancy.calc cfg280 ~regs_per_thread:32 ~shared_per_block:0
@@ -442,7 +500,10 @@ let suite =
       t "interp: out of bounds" test_interp_oob;
       t "interp: flop counting" test_interp_flop_count;
       t "occupancy limits" test_occupancy_limits;
+      t "occupancy: spill classification" test_occupancy_spill_classification;
       t "occupancy: 8800 vs 280" test_occupancy_8800_smaller;
+      t "timing: spill slowdown" test_timing_spill_slowdown;
+      t "timing: bound classification" test_timing_bound_classification;
       t "timing: bytes monotone" test_timing_monotone_in_bytes;
       t "timing: camping penalty" test_timing_camping_penalty;
       t "partition efficiency" test_partition_efficiency_calc;
