@@ -37,8 +37,8 @@ let predict (p : probe) : prediction =
   {
     score;
     rationale =
-      Printf.sprintf "%s; %d warps, %d blocks/SM, %d wave%s" note
-        p.p_active_warps p.p_blocks_per_sm p.p_waves
+      Printf.sprintf "%s; %d warps, %d blocks/SM, %d blocks in %d wave%s"
+        note p.p_active_warps p.p_blocks_per_sm p.p_total_blocks p.p_waves
         (if p.p_waves = 1 then "" else "s");
   }
 

@@ -26,6 +26,8 @@ type probe = {
   p_reg_spill : bool;
   p_waves : int;  (** resident-block waves needed to cover the grid *)
   p_total_blocks : int;
+      (** thread blocks in the grid; reported in the rationale so a
+          prediction records how much grid one probe block stood for *)
 }
 
 type prediction = {

@@ -62,7 +62,9 @@ type funnel = {
   f_predicted : int;  (** stage-1 probes (predictions computed) *)
   f_pruned : int;  (** groups discarded on the prediction alone *)
   f_rungs : int;  (** successive-halving rungs run *)
-  f_partial_runs : int;  (** partial-simulation measurements *)
+  f_partial_runs : int;
+      (** partial-simulation measurements that actually executed (cache
+          hits are not counted, so a warm replay reports 0) *)
   f_measured : int;  (** groups fully measured (the final rung) *)
   f_spearman : float;
       (** Spearman rank correlation of prediction vs the best empirical
@@ -85,13 +87,15 @@ let probe_key prefix digest = prefix ^ "|probe|" ^ digest
 let rung_key prefix budget digest =
   Printf.sprintf "%s|b%d|%s" prefix budget digest
 
-let cached_score cache key compute =
+(* the [bool] reports a cache hit, so callers can count only the
+   simulations that actually executed (e.g. [f_partial_runs]) *)
+let cached_score cache key compute : float * bool =
   match Option.bind cache (fun c -> Explore_cache.find c key) with
-  | Some s -> s
+  | Some s -> (s, true)
   | None ->
       let s = compute () in
       Option.iter (fun c -> Explore_cache.store c key s) cache;
-      s
+      (s, false)
 
 (* --- phase 1: compile every configuration ---------------------------- *)
 
@@ -185,9 +189,10 @@ let search_with_failures ?(cfg = Gpcc_sim.Config.gtx280)
       let reps = distinct_reps compiled in
       (* phase 2: score each distinct version, cache first *)
       let score_rep (c : compiled) : float =
-        cached_score cache
-          (full_key cache_prefix c.c_digest)
-          (fun () -> measure c.c_result.kernel c.c_result.launch)
+        fst
+          (cached_score cache
+             (full_key cache_prefix c.c_digest)
+             (fun () -> measure c.c_result.kernel c.c_result.launch))
       in
       let scored = Pool.map_result pool score_rep reps in
       let score_tbl = Hashtbl.create 16 in
@@ -237,9 +242,10 @@ let search_funnel ?(cfg = Gpcc_sim.Config.gtx280)
       (* stage 1 (rank): probe every distinct version once — a
          single-block simulation through the cost model — in parallel *)
       let probe (c : compiled) : float =
-        cached_score cache
-          (probe_key cache_prefix c.c_digest)
-          (fun () -> predict c.c_result.kernel c.c_result.launch)
+        fst
+          (cached_score cache
+             (probe_key cache_prefix c.c_digest)
+             (fun () -> predict c.c_result.kernel c.c_result.launch))
       in
       let probed =
         List.map2
@@ -305,13 +311,19 @@ let search_funnel ?(cfg = Gpcc_sim.Config.gtx280)
           in
           let reps = List.map fst survivors in
           let outcomes = Pool.map_result pool measure_rung reps in
-          n_partial := !n_partial + List.length reps;
+          (* count only rung simulations that executed: a cache hit ran
+             nothing, an error means the measurement ran and raised *)
+          List.iter
+            (function
+              | Ok (_, true) -> ()
+              | Ok (_, false) | Error _ -> incr n_partial)
+            outcomes;
           let scored =
             List.concat
               (List.map2
                  (fun c outcome ->
                    match outcome with
-                   | Ok s ->
+                   | Ok (s, _) ->
                        Hashtbl.replace empirical c.c_digest s;
                        if budget >= Ast.total_blocks c.c_result.launch then
                          Hashtbl.replace full_scores c.c_digest s;
@@ -350,9 +362,10 @@ let search_funnel ?(cfg = Gpcc_sim.Config.gtx280)
         match Hashtbl.find_opt full_scores c.c_digest with
         | Some s -> s
         | None ->
-            cached_score cache
-              (full_key cache_prefix c.c_digest)
-              (fun () -> measure c.c_result.kernel c.c_result.launch)
+            fst
+              (cached_score cache
+                 (full_key cache_prefix c.c_digest)
+                 (fun () -> measure c.c_result.kernel c.c_result.launch))
       in
       let finalist_reps = List.map fst finalists in
       let final_outcomes = Pool.map_result pool measure_full finalist_reps in

@@ -76,7 +76,9 @@ type funnel = {
   f_predicted : int;  (** stage-1 probes (predictions computed) *)
   f_pruned : int;  (** versions discarded on the prediction alone *)
   f_rungs : int;  (** successive-halving rungs run *)
-  f_partial_runs : int;  (** partial-simulation measurements *)
+  f_partial_runs : int;
+      (** partial-simulation measurements that actually executed (cache
+          hits are not counted, so a warm replay reports 0) *)
   f_measured : int;  (** versions fully measured (the final rung) *)
   f_spearman : float;
       (** Spearman rank correlation of prediction vs best empirical

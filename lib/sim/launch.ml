@@ -180,14 +180,17 @@ let sim_seconds () =
     backend so the dynamic race checker sees every access.
 
     [block_budget] caps how many blocks are actually interpreted
-    (partial simulation with early abort): [Full] runs only the prefix
-    of [b] linear block ids — multi-phase kernels still synchronise
-    that prefix at every grid barrier — and [Sampled] caps both the
-    statistics samples and the stream blocks. Per-block statistics are
-    averaged over the simulated blocks and [total]/[timing] are still
-    scaled to the whole grid, so the result remains a whole-grid
-    estimate; device memory, however, holds the output of a partial
-    execution and must not be checked against a reference. *)
+    (partial simulation with early abort): [Full] runs the prefix of
+    [b] linear block ids plus every partition-stream block beyond the
+    prefix — the stream set is never thinned (see the NB below) —
+    with multi-phase kernels still synchronising all simulated blocks
+    at every grid barrier; [Sampled] caps only the spread statistics
+    samples and deliberately keeps the full partition-stream set.
+    Per-block statistics are averaged over the budgeted prefix (resp.
+    the statistics samples) and [total]/[timing] are still scaled to
+    the whole grid, so the result remains a whole-grid estimate;
+    device memory, however, holds the output of a partial execution
+    and must not be checked against a reference. *)
 let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
     (cfg : Config.t) (k : Ast.kernel) (launch : Ast.launch) (mem : Devmem.t) :
     result =
@@ -213,7 +216,10 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
      the wave, not between neighbors) *)
   let wave = min nblocks (cfg.num_sms * occ0.blocks_per_sm) in
   let stream_ids =
-    let s = max 2 (min streams wave) in
+    (* [streams <= 1] requests a deliberate single-stream probe (see
+       {!run_block}); camping is an inter-block effect, so any real
+       estimate needs at least two streams *)
+    let s = if streams <= 1 then 1 else max 2 (min streams wave) in
     List.init s (fun i -> i * wave / s) |> List.sort_uniq compare
   in
   let mode = if List.length phases > 1 then Full else mode in
@@ -272,21 +278,29 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
   let per_block, streams, sampled =
     match mode with
     | Full ->
-        (* under a block budget only the prefix of [budget] blocks runs
-           (early abort); statistics are averaged over that prefix *)
-        let in_stream = Array.make budget false in
-        List.iter
-          (fun i -> if i < budget then in_stream.(i) <- true)
-          stream_ids;
+        (* under a block budget the prefix of [budget] blocks runs
+           (early abort) plus every partition-stream block beyond the
+           prefix — the budget never thins the stream set (see the NB
+           above); statistics are averaged over the prefix only, so the
+           extra stream blocks cannot skew the whole-grid estimate *)
+        let ids =
+          Array.of_list
+            (List.init budget Fun.id
+            @ List.filter (fun i -> i >= budget) stream_ids)
+        in
+        let nrun = Array.length ids in
+        let in_stream = Array.make nblocks false in
+        List.iter (fun i -> in_stream.(i) <- true) stream_ids;
         (* per-block statistics merged in block order at the end, so the
            parallel interleaving cannot perturb the totals *)
-        let bstats = Array.init budget (fun _ -> Stats.create ()) in
+        let bstats = Array.init nrun (fun _ -> Stats.create ()) in
         (* create block state upfront so thread state persists across
            global-sync phases *)
         let blocks =
-          Array.init budget (fun i ->
+          Array.init nrun (fun j ->
+              let i = ids.(j) in
               let bx, by = block_coords launch i in
-              make_block ~record_tx:in_stream.(i) bstats.(i) ~bidx:bx
+              make_block ~record_tx:in_stream.(i) bstats.(j) ~bidx:bx
                 ~bidy:by)
         in
         with_exec_pool ?jobs (fun pool ->
@@ -297,15 +311,16 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
               | None -> Array.iter (fun b -> exec_phase b p) blocks
               | Some pool ->
                   let nw = max 1 (Pool.size pool) in
-                  let nchunks = min budget (nw * 4) in
+                  let nchunks = min nrun (nw * 4) in
                   let chunks =
                     List.init nchunks (fun ci ->
-                        (ci * budget / nchunks,
-                         ((ci + 1) * budget / nchunks) - 1))
+                        (ci * nrun / nchunks,
+                         ((ci + 1) * nrun / nchunks) - 1))
                   in
-                  (* contiguous chunks in index order: Pool.map re-raises
-                     the earliest failing chunk, whose first failure is
-                     the globally lowest failing block, like serial *)
+                  (* contiguous chunks in index order ([ids] is
+                     ascending): Pool.map re-raises the earliest failing
+                     chunk, whose first failure is the globally lowest
+                     failing block, like serial *)
                   ignore
                     (Pool.map pool
                        (fun (lo, hi) ->
@@ -315,10 +330,13 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
                        chunks)
             done);
         let stats = Stats.create () in
-        Array.iter (fun t -> Stats.add stats t) bstats;
+        for j = 0 to budget - 1 do
+          Stats.add stats bstats.(j)
+        done;
         let streams = ref [] in
         Array.iteri
-          (fun i b -> if in_stream.(i) then streams := tx_stream b :: !streams)
+          (fun j b ->
+            if in_stream.(ids.(j)) then streams := tx_stream b :: !streams)
           blocks;
         ( Stats.scale (1.0 /. float_of_int budget) stats,
           List.rev !streams,

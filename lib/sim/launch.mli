@@ -56,14 +56,16 @@ val partition_efficiency : Config.t -> int array list -> float
     serial; default [GPCC_JOBS] or the domain count). [GPCC_CHECK=1]
     forces the serial reference backend.
 
-    [block_budget] enables partial simulation with early abort: at most
-    that many blocks are interpreted ([Full]: the prefix of linear block
-    ids, still phase-synchronised at grid barriers; [Sampled]: caps the
-    representative sample — the partition-estimate streams are never
-    thinned, a prefix of linear ids would bias the camping estimate).
-    Statistics stay per-block averages and [total]/[timing] are still
-    whole-grid estimates, but device memory holds a partial execution —
-    never check it against a reference. *)
+    [block_budget] enables partial simulation with early abort:
+    [Full] interprets the prefix of that many linear block ids plus
+    every partition-stream block beyond it, still phase-synchronised
+    at grid barriers; [Sampled] caps only the representative
+    statistics sample. In both modes the partition-estimate streams
+    are never thinned — a budget-dependent subset would bias the
+    camping estimate. Statistics stay per-block averages over the
+    budgeted blocks and [total]/[timing] are still whole-grid
+    estimates, but device memory holds a partial execution — never
+    check it against a reference. *)
 val run :
   ?mode:mode ->
   ?streams:int ->
@@ -79,7 +81,10 @@ val run :
 (** One representative block (linear id 0), serially, through every
     phase: the cheapest whole-grid performance estimate the simulator
     can produce, used by the exploration funnel's analytic pre-ranking
-    stage. Equivalent to [run ~mode:Full ~block_budget:1 ~jobs:1]. *)
+    stage. Equivalent to
+    [run ~mode:Full ~streams:1 ~block_budget:1 ~jobs:1]; [streams:1]
+    requests a single transaction stream, so [partition_eff] is always
+    1.0 (see {!Gpcc_analysis.Cost_model.memory_optimism}). *)
 val run_block :
   ?backend:backend ->
   Config.t ->

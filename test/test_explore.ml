@@ -313,6 +313,24 @@ let test_funnel_warm_cache () =
         (a.provenance = b.provenance))
     cold_cands warm_cands
 
+(* [f_partial_runs] counts executed rung measurements only: a warm
+   replay serves every rung from the cache and must report 0 (rd is
+   multi-phase, so its funnel actually takes the halving path) *)
+let test_funnel_partial_runs_count_executions () =
+  let w = Gpcc_workloads.Registry.find_exn "rd" in
+  let n = w.test_size in
+  let dir = fresh_cache_dir () in
+  let run () =
+    let cache = Gpcc_core.Explore_cache.open_dir ~dir () in
+    funnel_search ~jobs:1 ~cache ~cache_prefix:"t/rd" "rd" n
+  in
+  let _, _, cold = run () in
+  let _, _, warm = run () in
+  Alcotest.(check bool) "cold rungs executed their measurements" true
+    (cold.f_rungs = 0 || cold.f_partial_runs > 0);
+  Alcotest.(check int) "warm replay executes no partial simulations" 0
+    warm.f_partial_runs
+
 (* a funnel and an exhaustive sweep share full-measurement entries: the
    funnel's finals must be served from the exhaustive run's cache *)
 let test_funnel_shares_full_cache () =
@@ -405,6 +423,8 @@ let suite =
         test_funnel_warm_cache;
       Alcotest.test_case "funnel: shares full measurements with exhaustive"
         `Slow test_funnel_shares_full_cache;
+      Alcotest.test_case "funnel: partial_runs counts executions only"
+        `Slow test_funnel_partial_runs_count_executions;
       Alcotest.test_case "cache: corrupt entries dropped and deleted" `Quick
         test_cache_corrupt_entry;
     ] )

@@ -462,6 +462,30 @@ let test_timing_camping_penalty () =
   in
   Alcotest.(check bool) "camping is slower" true (bad.time_ms > good.time_ms *. 4.0)
 
+(* regression: a Full-mode block budget must run every partition-stream
+   block, not just those inside the budget prefix — a thinned stream set
+   biases partition_eff and once flipped a funnel winner (mv) *)
+let test_full_budget_keeps_stream_set () =
+  let k =
+    parse_kernel
+      {|#pragma gpcc output o
+__kernel void f(float o[256][256]) {
+  o[idx][idy] = idx + idy;
+}|}
+  in
+  let launch = launch1 ~gx:16 ~gy:16 ~bx:16 ~by:16 () in
+  let run budget =
+    let mem = Devmem.of_kernel k in
+    Launch.run ?block_budget:budget ~jobs:1 cfg280 k launch mem
+  in
+  let full = run None in
+  (* 32 < the resident wave, so some stream blocks lie beyond the budget *)
+  let budgeted = run (Some 32) in
+  Alcotest.(check int) "statistics averaged over the budget prefix" 32
+    budgeted.Launch.sampled_blocks;
+  Alcotest.(check (float 0.0)) "partition_eff unbiased by the budget"
+    full.Launch.partition_eff budgeted.Launch.partition_eff
+
 let test_partition_efficiency_calc () =
   let same = [ [| 0; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 0; 0 |]; [| 0; 0; 0 |] ] in
   let spread = [ [| 0; 1 |]; [| 2; 3 |]; [| 4; 5 |]; [| 6; 7 |] ] in
@@ -507,4 +531,5 @@ let suite =
       t "timing: bytes monotone" test_timing_monotone_in_bytes;
       t "timing: camping penalty" test_timing_camping_penalty;
       t "partition efficiency" test_partition_efficiency_calc;
+      t "block budget keeps the stream set" test_full_budget_keeps_stream_set;
     ] )
