@@ -960,7 +960,7 @@ let sections =
     clock, the worker-pool size and the exploration-cache traffic (hit
     and miss deltas over this section). *)
 let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
-    ~analysis_misses ~rows =
+    ~analysis_misses ~verify_wall_s ~sym_proofs ~concrete_fallbacks ~rows =
   let cache_fields =
     (if Lazy.is_val explore_cache then
        let c = Lazy.force explore_cache in
@@ -1005,6 +1005,12 @@ let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
          );
          ("wall_clock_s", Json_out.Float wall_s);
          ("sim_wall_clock_s", Json_out.Float sim_s);
+         (* verifier cost over this section: wall clock inside the
+            verify entry points, launches discharged symbolically vs
+            handed to the concrete verifier *)
+         ("verify_wall_clock_s", Json_out.Float verify_wall_s);
+         ("symbolic_proofs", Json_out.Int sym_proofs);
+         ("concrete_fallbacks", Json_out.Int concrete_fallbacks);
          ("cache", Json_out.Obj cache_fields);
          ("pass_timings", Json_out.List pass_timings);
          ("workloads", Json_out.List rows);
@@ -1052,6 +1058,12 @@ let () =
           let hits0, misses0 = cache_traffic () in
           let ahits0 = Gpcc_analysis.Analysis_cache.global_hits ()
           and amisses0 = Gpcc_analysis.Analysis_cache.global_misses () in
+          let vwall0 =
+            Gpcc_analysis.Analysis_cache.global_verify_wall_clock_s ()
+          and sym0 = Gpcc_analysis.Analysis_cache.global_symbolic_proofs ()
+          and fb0 =
+            Gpcc_analysis.Analysis_cache.global_concrete_fallbacks ()
+          in
           let sim0 = Gpcc_sim.Launch.sim_seconds () in
           let t0 = Unix.gettimeofday () in
           let finish () =
@@ -1064,6 +1076,14 @@ let () =
               ~analysis_hits:(Gpcc_analysis.Analysis_cache.global_hits () - ahits0)
               ~analysis_misses:
                 (Gpcc_analysis.Analysis_cache.global_misses () - amisses0)
+              ~verify_wall_s:
+                (Gpcc_analysis.Analysis_cache.global_verify_wall_clock_s ()
+                -. vwall0)
+              ~sym_proofs:
+                (Gpcc_analysis.Analysis_cache.global_symbolic_proofs () - sym0)
+              ~concrete_fallbacks:
+                (Gpcc_analysis.Analysis_cache.global_concrete_fallbacks ()
+                - fb0)
               ~rows:(Record.take ());
             wall_s
           in

@@ -319,10 +319,41 @@ let explore_cmd =
 
 let lint_cmd =
   let module V = Gpcc_analysis.Verify in
-  (* one lint unit: kernel name, variant label, launch, diagnostics *)
-  let lint_kernel ~variant (k : Gpcc_ast.Ast.kernel)
+  let module SV = Gpcc_analysis.Symverify in
+  (* one lint unit: kernel name, variant label, launch, diagnostics,
+     and (with --symbolic) the parametric verdict, its decision at this
+     launch, and whether it agrees with the concrete verdict *)
+  let lint_kernel ~symbolic ~variant (k : Gpcc_ast.Ast.kernel)
       (launch : Gpcc_ast.Ast.launch) =
-    (k.k_name, variant, launch, V.check ~launch k)
+    let ds = V.check ~launch k in
+    let sym =
+      if not symbolic then None
+      else
+        let r = SV.check k in
+        let decision, sym_errs =
+          match SV.decide r launch with
+          | `Clean -> ("clean", [])
+          | `Errors es -> ("errors", es)
+          | `Unknown _ -> ("unknown", [])
+        in
+        let conc_errs = V.errors ds in
+        let agree =
+          match decision with
+          | "clean" -> conc_errs = []
+          | "errors" ->
+              (* same failure, same rule ids *)
+              conc_errs <> []
+              && List.for_all
+                   (fun (e : V.diagnostic) ->
+                     List.exists
+                       (fun (c : V.diagnostic) -> String.equal c.rule e.rule)
+                       conc_errs)
+                   sym_errs
+          | _ -> true (* unknown: the concrete fallback decides *)
+        in
+        Some (SV.verdict_to_string r.verdict, decision, agree)
+    in
+    (k.k_name, variant, launch, ds, sym)
   in
   let optimize cfg k =
     let pipeline = Gpcc_core.Pipeline.default ~cfg ~verify:false () in
@@ -334,7 +365,7 @@ let lint_cmd =
     | Some l -> Some l
     | None -> Gpcc_passes.Pass_util.initial_launch k
   in
-  let results_of_file cfg optimized file =
+  let results_of_file cfg optimized symbolic file =
     let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
     Gpcc_ast.Typecheck.check k;
     match launch_of k with
@@ -345,36 +376,44 @@ let lint_cmd =
     | Some launch ->
         if optimized then begin
           let k', l' = optimize cfg k in
-          [ lint_kernel ~variant:"optimized" k' l' ]
+          [ lint_kernel ~symbolic ~variant:"optimized" k' l' ]
         end
-        else [ lint_kernel ~variant:"naive" k launch ]
+        else [ lint_kernel ~symbolic ~variant:"naive" k launch ]
   in
-  let results_of_workloads cfg =
+  let results_of_workloads cfg symbolic =
     let of_workload (w : Gpcc_workloads.Workload.t) =
       let k = Gpcc_workloads.Workload.parse w w.test_size in
       let naive =
         match launch_of k with
-        | Some launch -> [ lint_kernel ~variant:"naive" k launch ]
+        | Some launch -> [ lint_kernel ~symbolic ~variant:"naive" k launch ]
         | None -> []
       in
       let k', l' = optimize cfg k in
-      naive @ [ lint_kernel ~variant:"optimized" k' l' ]
+      naive @ [ lint_kernel ~symbolic ~variant:"optimized" k' l' ]
     in
     let of_comparator (c : Gpcc_workloads.Cublas_sim.comparator) =
       let n = 64 in
       let k = Gpcc_workloads.Cublas_sim.kernel c n in
-      [ lint_kernel ~variant:"cublas" k (c.c_launch n) ]
+      [ lint_kernel ~symbolic ~variant:"cublas" k (c.c_launch n) ]
     in
     List.concat_map of_workload
       (Gpcc_workloads.Registry.all @ Gpcc_workloads.Registry.extras)
     @ List.concat_map of_comparator Gpcc_workloads.Cublas_sim.all
   in
   let emit_json results nerr nwarn =
-    let result_json (name, variant, (l : Gpcc_ast.Ast.launch), ds) =
+    let result_json (name, variant, (l : Gpcc_ast.Ast.launch), ds, sym) =
+      let sym_json =
+        match sym with
+        | None -> ""
+        | Some (verdict, decision, agree) ->
+            Printf.sprintf
+              {|,"symbolic":{"verdict":"%s","decision":"%s","agree":%b}|}
+              (V.json_escape verdict) (V.json_escape decision) agree
+      in
       Printf.sprintf
-        {|{"kernel":"%s","variant":"%s","launch":"(%d,%d)x(%d,%d)","diagnostics":%s}|}
+        {|{"kernel":"%s","variant":"%s","launch":"(%d,%d)x(%d,%d)","diagnostics":%s%s}|}
         name variant l.grid_x l.grid_y l.block_x l.block_y
-        (V.json_of_diagnostics ds)
+        (V.json_of_diagnostics ds) sym_json
     in
     Printf.printf
       {|{"schema":"gpcc-lint-v1","errors":%d,"warnings":%d,"results":[%s]}|}
@@ -384,7 +423,7 @@ let lint_cmd =
   in
   let emit_human results nerr nwarn =
     List.iter
-      (fun (name, variant, (l : Gpcc_ast.Ast.launch), ds) ->
+      (fun (name, variant, (l : Gpcc_ast.Ast.launch), ds, sym) ->
         Printf.printf "%s (%s) at (%d,%d)x(%d,%d): %s\n" name variant
           l.grid_x l.grid_y l.block_x l.block_y
           (if ds = [] then "clean"
@@ -392,27 +431,39 @@ let lint_cmd =
              Printf.sprintf "%d error(s), %d warning(s)"
                (List.length (V.errors ds))
                (List.length (V.warnings ds)));
+        (match sym with
+        | None -> ()
+        | Some (verdict, decision, agree) ->
+            Printf.printf "  symbolic: %s -> %s at this launch%s\n" verdict
+              decision
+              (if agree then "" else "  ** DISAGREES with concrete verdict"));
         List.iter (fun d -> Printf.printf "  %s\n" (V.to_string d)) ds)
       results;
     Printf.printf "lint: %d error(s), %d warning(s)\n" nerr nwarn
   in
-  let run cfg json optimized workloads file =
+  let run cfg json optimized workloads symbolic file =
     handle_errors (fun () ->
         let results =
-          if workloads then results_of_workloads cfg
+          if workloads then results_of_workloads cfg symbolic
           else
             match file with
-            | Some f -> results_of_file cfg optimized f
+            | Some f -> results_of_file cfg optimized symbolic f
             | None ->
                 Printf.eprintf "lint: give a FILE or --workloads\n";
                 exit 1
         in
-        let all = List.concat_map (fun (_, _, _, ds) -> ds) results in
+        let all = List.concat_map (fun (_, _, _, ds, _) -> ds) results in
         let nerr = List.length (V.errors all)
         and nwarn = List.length (V.warnings all) in
         if json then emit_json results nerr nwarn
         else emit_human results nerr nwarn;
-        if nerr > 0 then exit 1)
+        let disagreements =
+          List.filter
+            (fun (_, _, _, _, sym) ->
+              match sym with Some (_, _, false) -> true | _ -> false)
+            results
+        in
+        if nerr > 0 || disagreements <> [] then exit 1)
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
@@ -422,6 +473,15 @@ let lint_cmd =
       value & flag
       & info [ "O"; "optimized" ]
           ~doc:"Lint the pipeline's optimized output instead of the input.")
+  in
+  let symbolic_arg =
+    Arg.(
+      value & flag
+      & info [ "symbolic" ]
+          ~doc:
+            "Also run the launch-parametric symbolic verifier and report \
+             its verdict and its agreement with the concrete verdict; \
+             exit non-zero on any disagreement.")
   in
   let workloads_arg =
     Arg.(
@@ -443,7 +503,7 @@ let lint_cmd =
           bounds, bank conflicts, coalescing")
     Term.(
       const run $ gpu_arg $ json_arg $ optimized_arg $ workloads_arg
-      $ opt_file_arg)
+      $ symbolic_arg $ opt_file_arg)
 
 (* --- bench --- *)
 

@@ -57,6 +57,7 @@ type t = {
   coalesce : bool slot;
   regcount : (int * int) slot;  (** (registers/thread, shared bytes/block) *)
   verify : Verify.diagnostic list slot;
+  symbolic : Symverify.result slot;  (** parametric verdicts, kernel-keyed *)
   capacity : int;  (** max entries per slot before LRU eviction *)
   mutable tick : int;
   mutable hits : int;
@@ -72,6 +73,7 @@ let create ?(capacity = default_capacity) () =
     coalesce = Hashtbl.create 64;
     regcount = Hashtbl.create 64;
     verify = Hashtbl.create 64;
+    symbolic = Hashtbl.create 64;
     capacity = max 1 capacity;
     tick = 0;
     hits = 0;
@@ -85,13 +87,34 @@ let misses t = t.misses
 let length t =
   Hashtbl.length t.affine + Hashtbl.length t.sharing
   + Hashtbl.length t.coalesce + Hashtbl.length t.regcount
-  + Hashtbl.length t.verify
+  + Hashtbl.length t.verify + Hashtbl.length t.symbolic
 
 (* hit/miss totals across every domain's instance, for bench reporting *)
 let global_hit_count = Atomic.make 0
 let global_miss_count = Atomic.make 0
 let global_hits () = Atomic.get global_hit_count
 let global_misses () = Atomic.get global_miss_count
+
+(* verification-cost counters for bench reporting: launches discharged
+   by a symbolic proof vs. handed to the concrete verifier, and total
+   wall-clock microseconds spent inside either verifier entry point *)
+let sym_proof_count = Atomic.make 0
+let concrete_fallback_count = Atomic.make 0
+let verify_wall_us = Atomic.make 0
+let global_symbolic_proofs () = Atomic.get sym_proof_count
+let global_concrete_fallbacks () = Atomic.get concrete_fallback_count
+let global_verify_wall_clock_s () =
+  float_of_int (Atomic.get verify_wall_us) /. 1e6
+
+let timed (f : unit -> 'a) : 'a =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let us =
+        int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1e6))
+      in
+      ignore (Atomic.fetch_and_add verify_wall_us (max 0 us)))
+    f
 
 (** Cache key of a kernel at a launch configuration. *)
 let key (k : Ast.kernel) (l : Ast.launch) : string =
@@ -239,6 +262,7 @@ let verify_disk_write (path : string) (full : string)
 
 let verify (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
     Verify.diagnostic list =
+  timed @@ fun () ->
   let full = Pp.kernel_to_string ~launch k in
   let dk = Digest.string full in
   find t t.verify dk (fun () ->
@@ -253,6 +277,104 @@ let verify (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
           let ds = Verify.check ~launch k in
           verify_disk_write path full ds;
           ds)
+
+(* --- persistent parametric (symbolic) verdict store ----------------- *)
+(* One entry per kernel, not per (kernel, launch): the parametric result
+   is launch-independent, so it lives under the same cache directory as
+   the concrete verdicts but with its own extension and header.  Old
+   per-config [.verdict] files remain readable by [verify] above. *)
+let symverify_format = "gpcc-symverify-v1"
+
+let symverify_disk_read (path : string) (full : string) :
+    Symverify.result option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let verdict =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> `Corrupt
+            | header when not (String.equal header symverify_format) ->
+                `Corrupt
+            | _ -> (
+                match
+                  (Marshal.from_channel ic : string * Symverify.result)
+                with
+                | stored, r when String.equal stored full -> `Hit r
+                | _ -> `Collision
+                | exception _ -> `Corrupt))
+      in
+      match verdict with
+      | `Hit r -> Some r
+      | `Collision -> None
+      | `Corrupt ->
+          (try Sys.remove path with Sys_error _ -> ());
+          None)
+
+let symverify_disk_write (path : string) (full : string)
+    (r : Symverify.result) : unit =
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path
+        (Domain.self () :> int)
+        (Atomic.fetch_and_add verify_tmp_seq 1)
+    in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc symverify_format;
+       output_char oc '\n';
+       Marshal.to_channel oc (full, r) [];
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    try Sys.rename tmp path
+    with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+  with Sys_error _ -> ()
+
+let symbolic_result (t : t) (k : Ast.kernel) : Symverify.result =
+  let full = Pp.kernel_to_string k in
+  let dk = Digest.string full in
+  find t t.symbolic dk (fun () ->
+      let path =
+        Filename.concat
+          (Lazy.force verify_disk_dir)
+          (Digest.to_hex dk ^ ".pverdict")
+      in
+      match symverify_disk_read path full with
+      | Some r -> r
+      | None ->
+          let r = Symverify.check k in
+          symverify_disk_write path full r;
+          r)
+
+(* escape hatch for A/B measurement and debugging: GPCC_SYMVERIFY=0
+   forces every launch down the concrete path *)
+let symverify_enabled =
+  lazy (Sys.getenv_opt "GPCC_SYMVERIFY" <> Some "0")
+
+let verify_sym (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
+    Verify.diagnostic list =
+  if not (Lazy.force symverify_enabled) then begin
+    Atomic.incr concrete_fallback_count;
+    verify t ~launch k
+  end
+  else
+    let r = timed (fun () -> symbolic_result t k) in
+  match Symverify.decide r launch with
+  | `Clean ->
+      Atomic.incr sym_proof_count;
+      []
+  | `Errors _ | `Unknown _ ->
+      (* certain violations fall back too: the concrete verifier
+         reproduces them with its own paths/messages, keeping the
+         diagnostics byte-identical to a non-symbolic run *)
+      Atomic.incr concrete_fallback_count;
+      verify t ~launch k
 
 (* Copy one slot's cached value from the old key to the new key (no
    hit/miss accounting: this is bookkeeping, not a lookup). *)

@@ -43,6 +43,18 @@ val global_hits : unit -> int
 
 val global_misses : unit -> int
 
+val global_symbolic_proofs : unit -> int
+(** Launches discharged by a symbolic [Proved]/[Proved_when] verdict
+    (no concrete verification ran), across every domain. *)
+
+val global_concrete_fallbacks : unit -> int
+(** Launches the symbolic tier could not discharge, handed to the
+    concrete {!Verify.check} path, across every domain. *)
+
+val global_verify_wall_clock_s : unit -> float
+(** Total wall-clock seconds spent inside {!verify} and {!verify_sym},
+    across every domain. *)
+
 val key : Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> string
 (** Digest of the printed kernel at the launch — the cache key of the
     launch-dependent slots. *)
@@ -70,6 +82,20 @@ val verify :
   t -> launch:Gpcc_ast.Ast.launch -> Gpcc_ast.Ast.kernel ->
   Verify.diagnostic list
 (** Verifier diagnostics ([Verify] slot). *)
+
+val symbolic_result : t -> Gpcc_ast.Ast.kernel -> Symverify.result
+(** The launch-parametric symbolic verdict for a kernel — one
+    digest-keyed entry per kernel text, persisted on disk as a
+    [.pverdict] entry next to the concrete [.verdict] files. *)
+
+val verify_sym :
+  t -> launch:Gpcc_ast.Ast.launch -> Gpcc_ast.Ast.kernel ->
+  Verify.diagnostic list
+(** Symbolic-first verification: returns [[]] when the parametric
+    verdict proves this launch clean, and otherwise falls back to
+    {!verify} (identical diagnostics to a non-symbolic run). The
+    symbolic tier is sound but incomplete, so the fallback keeps
+    precision intact. *)
 
 val preserve :
   t ->

@@ -39,6 +39,7 @@ let rule_oob_global = "oob-global"
 let rule_oob_unproven = "oob-unproven"
 let rule_bank_conflict = "bank-conflict"
 let rule_noncoalesced = "noncoalesced"
+let rule_verify_incomplete = "verify-incomplete"
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
 let to_string d =
@@ -1327,6 +1328,18 @@ let check ?(max_lanes = 512) ~(launch : Ast.launch) (k : Ast.kernel) :
   in
   ignore (walk_block st spaces env0 k.k_body);
   let accs = List.rev st.ws_accs in
+  (let n = launch.block_x * launch.block_y in
+   if
+     n > max_lanes
+     && List.exists
+          (fun a -> a.a_store && Layout.find layouts a.a_arr <> None)
+          accs
+   then
+     diag st ~severity:Warning ~rule:rule_verify_incomplete ~path:""
+       (Printf.sprintf
+          "race check enumerated only %d of %d lanes; the verdict for this \
+           launch is incomplete"
+          max_lanes n));
   (* races, interval by interval; the pair table dedups across them *)
   let dedup_pairs = Hashtbl.create 32 in
   let intervals = Hashtbl.create 8 in

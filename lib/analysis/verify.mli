@@ -57,6 +57,11 @@ val rule_oob_unproven : string
 val rule_bank_conflict : string
 val rule_noncoalesced : string
 
+(** Warning emitted when the race check truncated the lane enumeration
+    ([block_x * block_y > max_lanes]) and the verdict for this launch
+    is therefore incomplete. *)
+val rule_verify_incomplete : string
+
 (** Verify a kernel at a launch configuration. [max_lanes] caps the
     per-block thread enumeration (default 512). Diagnostics are
     deduplicated and sorted errors-first. *)
@@ -74,6 +79,9 @@ val to_string : diagnostic -> string
 
 (** One diagnostic as a JSON object (keys [severity], [rule], [kernel],
     [path], [message]). *)
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
 val json_of_diagnostic : diagnostic -> string
 
 (** A JSON array of diagnostics. *)

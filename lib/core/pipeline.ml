@@ -197,14 +197,17 @@ let reset_pass_timings () =
 (* ------------------------------------------------------------------ *)
 
 (** Validate a kernel; errors blame [name]. Returns the full diagnostic
-    list (warnings included) for the step record. Verification results
-    are memoized in the per-domain analysis cache. *)
+    list (warnings included) for the step record. Verification is
+    symbolic-first: one launch-parametric proof per kernel text covers
+    every launch it is consulted at, and anything unproven falls back
+    to the concrete verifier. Results are memoized in the per-domain
+    analysis cache. *)
 let validate ~(verify : bool) (cache : Cache.t) (name : string)
     (k : Ast.kernel) (launch : Ast.launch) :
     Gpcc_analysis.Verify.diagnostic list =
   if not verify then []
   else begin
-    let ds = Cache.verify cache ~launch k in
+    let ds = Cache.verify_sym cache ~launch k in
     (match Gpcc_analysis.Verify.errors ds with
     | [] -> ()
     | errs ->

@@ -9,6 +9,7 @@ let () =
       Test_rewrite.suite;
       Test_analysis.suite;
       Test_verify.suite;
+      Test_symverify.suite;
       Test_sim.suite;
       Test_backend.suite;
       Test_passes.suite;
