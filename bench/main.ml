@@ -803,15 +803,17 @@ let amd_vectors () =
 (* Exploration funnel: model-guided pruned sweep vs exhaustive          *)
 (* ------------------------------------------------------------------ *)
 
-(* throwaway score-cache directories for the cold/warm timings (flat:
-   Explore_cache keeps no subdirectories) *)
-let remove_cache_dir dir =
+(* throwaway score-cache directories for the cold/warm timings
+   (recursive: the artifact store shards entries into subdirectories) *)
+let rec remove_cache_dir dir =
   (match Sys.readdir dir with
   | exception Sys_error _ -> ()
   | names ->
       Array.iter
         (fun n ->
-          try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          let p = Filename.concat dir n in
+          if Sys.is_directory p then remove_cache_dir p
+          else try Sys.remove p with Sys_error _ -> ())
         names);
   try Sys.rmdir dir with Sys_error _ -> ()
 
@@ -960,7 +962,8 @@ let sections =
     clock, the worker-pool size and the exploration-cache traffic (hit
     and miss deltas over this section). *)
 let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
-    ~analysis_misses ~verify_wall_s ~sym_proofs ~concrete_fallbacks ~rows =
+    ~analysis_misses ~store_hits ~store_misses ~store_evictions
+    ~verify_wall_s ~sym_proofs ~concrete_fallbacks ~rows =
   let cache_fields =
     (if Lazy.is_val explore_cache then
        let c = Lazy.force explore_cache in
@@ -976,6 +979,11 @@ let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
     @ [
         ("analysis_hits", Json_out.Int analysis_hits);
         ("analysis_misses", Json_out.Int analysis_misses);
+        (* the shared artifact store (scores, verdicts, bundles),
+           aggregated across every handle and domain *)
+        ("store_hits", Json_out.Int store_hits);
+        ("store_misses", Json_out.Int store_misses);
+        ("store_evictions", Json_out.Int store_evictions);
       ]
   in
   let pass_timings =
@@ -1058,6 +1066,9 @@ let () =
           let hits0, misses0 = cache_traffic () in
           let ahits0 = Gpcc_analysis.Analysis_cache.global_hits ()
           and amisses0 = Gpcc_analysis.Analysis_cache.global_misses () in
+          let shits0 = Gpcc_util.Store.global_hits ()
+          and smisses0 = Gpcc_util.Store.global_misses ()
+          and sevict0 = Gpcc_util.Store.global_evictions () in
           let vwall0 =
             Gpcc_analysis.Analysis_cache.global_verify_wall_clock_s ()
           and sym0 = Gpcc_analysis.Analysis_cache.global_symbolic_proofs ()
@@ -1076,6 +1087,9 @@ let () =
               ~analysis_hits:(Gpcc_analysis.Analysis_cache.global_hits () - ahits0)
               ~analysis_misses:
                 (Gpcc_analysis.Analysis_cache.global_misses () - amisses0)
+              ~store_hits:(Gpcc_util.Store.global_hits () - shits0)
+              ~store_misses:(Gpcc_util.Store.global_misses () - smisses0)
+              ~store_evictions:(Gpcc_util.Store.global_evictions () - sevict0)
               ~verify_wall_s:
                 (Gpcc_analysis.Analysis_cache.global_verify_wall_clock_s ()
                 -. vwall0)

@@ -175,7 +175,18 @@ let check_cmd =
 let explore_cmd =
   let run cfg jobs prune threshold file =
     handle_errors (fun () ->
-        let k = Gpcc_ast.Parser.kernel_of_string (read_file file) in
+        let source = read_file file in
+        let k = Gpcc_ast.Parser.kernel_of_string source in
+        (* persist scores through the shared artifact store so repeated
+           and concurrent invocations skip already-measured points; the
+           prefix pins everything the score depends on besides the
+           compiled kernel digest (appended by Explore itself) *)
+        let cache = Gpcc_core.Explore_cache.open_dir () in
+        let cache_prefix =
+          Printf.sprintf "cli/%s/%s/%s" cfg.Gpcc_sim.Config.name
+            (if prune then "funnel" else "occ")
+            (Digest.to_hex (Digest.string source))
+        in
         (* score by static occupancy x inverse instruction estimate when no
            workload data is attached; kernel versions are still printed *)
         let static_measure kernel launch =
@@ -190,8 +201,8 @@ let explore_cmd =
         in
         let cands, failures =
           if not prune then
-            Gpcc_core.Explore.search_with_failures ~cfg ~jobs k
-              ~measure:static_measure
+            Gpcc_core.Explore.search_with_failures ~cfg ~jobs ~cache
+              ~cache_prefix k ~measure:static_measure
           else begin
             (* --prune runs the model-guided funnel on the simulator over
                zero-initialized device memory (the tool has no workload
@@ -227,9 +238,9 @@ let explore_cmd =
               List.length (Gpcc_sim.Launch.phases_of_body k.k_body) > 1
             in
             let cands, failures, stats =
-              Gpcc_core.Explore.search_funnel ~cfg ~jobs
-                ~prune_threshold:threshold ~budget_sensitive k ~predict
-                ~measure
+              Gpcc_core.Explore.search_funnel ~cfg ~jobs ~cache
+                ~cache_prefix ~prune_threshold:threshold ~budget_sensitive k
+                ~predict ~measure
             in
             Printf.eprintf
               "funnel: %d configs, %d distinct, %d pruned by the model, %d \
@@ -566,7 +577,10 @@ let deploy_cmd =
           float_of_int occ.active_warps
         in
         let b =
-          Gpcc_core.Deploy.build
+          (* bundles persist through the artifact store: the key embeds
+             the GPU list and the naive kernel text, the prefix the
+             scoring mode *)
+          Gpcc_core.Deploy.build_cached ~prefix:"cli/static-occupancy"
             ~gpus:
               [ Gpcc_sim.Config.gtx8800; Gpcc_sim.Config.gtx280;
                 Gpcc_sim.Config.hd5870 ]
@@ -578,6 +592,126 @@ let deploy_cmd =
     (Cmd.info "deploy"
        ~doc:"Select one optimized version per GPU (Section 4.2)")
     Term.(const run $ file_arg)
+
+(* --- cache --- *)
+
+let cache_cmds =
+  let module Store = Gpcc_util.Store in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Cache directory (default: \\$(b,GPCC_CACHE_DIR), else \
+             $(b,_gpcc_cache) under the nearest enclosing project root).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let open_store dir = Store.open_root ?root:dir ~auto_gc:false () in
+  let stats_cmd =
+    let run dir json =
+      handle_errors (fun () ->
+          let s = open_store dir in
+          let d = Store.disk_stats s in
+          if json then begin
+            let kind_json (k : Store.kind_stats) =
+              Printf.sprintf {|{"kind":"%s","entries":%d,"bytes":%d}|}
+                k.ks_kind k.ks_entries k.ks_bytes
+            in
+            Printf.printf
+              {|{"schema":"gpcc-cache-v1","root":"%s","entries":%d,"bytes":%d,"tmp_files":%d,"kinds":[%s]}|}
+              (Gpcc_analysis.Verify.json_escape (Store.root s))
+              d.ds_entries d.ds_bytes d.ds_tmp_files
+              (String.concat "," (List.map kind_json d.ds_kinds));
+            print_newline ()
+          end
+          else begin
+            Printf.printf "root: %s\n" (Store.root s);
+            Printf.printf "entries: %d (%d bytes), %d stale tmp file(s)\n"
+              d.ds_entries d.ds_bytes d.ds_tmp_files;
+            List.iter
+              (fun (k : Store.kind_stats) ->
+                Printf.printf "  %-10s %6d entries  %10d bytes\n" k.ks_kind
+                  k.ks_entries k.ks_bytes)
+              d.ds_kinds
+          end)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Show artifact-store contents per kind")
+      Term.(const run $ dir_arg $ json_arg)
+  in
+  let gc_cmd =
+    let run dir json max_mb max_age =
+      handle_errors (fun () ->
+          let s = open_store dir in
+          let max_bytes =
+            match max_mb with
+            | Some mb -> Some (mb * 1024 * 1024)
+            | None -> Store.default_max_bytes ()
+          in
+          let g = Store.gc ?max_bytes ?max_age_s:max_age s in
+          if json then begin
+            Printf.printf
+              {|{"schema":"gpcc-cache-gc-v1","live":%d,"live_bytes":%d,"evicted":%d,"evicted_bytes":%d,"swept_tmps":%d}|}
+              g.gc_live g.gc_live_bytes g.gc_evicted g.gc_evicted_bytes
+              g.gc_swept_tmps;
+            print_newline ()
+          end
+          else
+            Printf.printf
+              "gc: %d live (%d bytes), %d evicted (%d bytes), %d stale tmp \
+               file(s) swept\n"
+              g.gc_live g.gc_live_bytes g.gc_evicted g.gc_evicted_bytes
+              g.gc_swept_tmps)
+    in
+    let max_mb =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-mb" ] ~docv:"MB"
+            ~doc:
+              "Evict least-recently-used entries until the store fits in MB \
+               megabytes (default: \\$(b,GPCC_CACHE_MAX_MB), else no size \
+               limit).")
+    in
+    let max_age =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "max-age-s" ] ~docv:"SECONDS"
+            ~doc:"Evict entries not touched for SECONDS (default: no limit).")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Sweep stale temp files and evict by age/size (LRU); always safe \
+            under concurrent readers and writers")
+      Term.(const run $ dir_arg $ json_arg $ max_mb $ max_age)
+  in
+  let clear_cmd =
+    let run dir kind =
+      handle_errors (fun () -> Store.clear ?kind (open_store dir))
+    in
+    let kind_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "kind" ] ~docv:"KIND"
+            ~doc:
+              "Only delete entries of this kind (e.g. $(b,score), \
+               $(b,verdict), $(b,pverdict), $(b,bundle)); default: \
+               everything.")
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete cached artifacts")
+      Term.(const run $ dir_arg $ kind_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain the shared artifact store")
+    [ stats_cmd; gc_cmd; clear_cmd ]
 
 (* --- list --- *)
 
@@ -603,12 +737,19 @@ let () =
           parallel grid execution (default: recommended domain count).";
       `P "$(b,GPCC_CHECK) — enable the dynamic race checker (forces the \
           serial reference backend).";
-      `P "$(b,GPCC_CACHE_DIR) — persistent result-cache directory for \
-          design-space exploration.";
+      `P "$(b,GPCC_CACHE_DIR) — artifact-store directory (exploration \
+          scores, verifier verdicts, deployment bundles). Default: \
+          $(b,_gpcc_cache) under the nearest enclosing directory with a \
+          $(b,dune-project) or $(b,.git) marker, so every invocation in a \
+          project shares one cache; see $(b,gpcc cache).";
+      `P "$(b,GPCC_CACHE_MAX_MB) — artifact-store size budget in \
+          megabytes; when set, opening the store garbage-collects \
+          least-recently-used entries down to the budget (also the \
+          default for $(b,gpcc cache gc)).";
     ]
   in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gpcc" ~version:"1.0.0" ~doc ~man)
           [ compile_cmd; check_cmd; explore_cmd; lint_cmd; deploy_cmd; bench_cmd;
-            list_cmd ]))
+            cache_cmds; list_cmd ]))

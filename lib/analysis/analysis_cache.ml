@@ -172,184 +172,66 @@ let regcount (t : t) (k : Ast.kernel) : int * int =
 (* Verification dominates warm design-space sweeps: measured scores are
    served from the on-disk exploration cache, but every candidate was
    still re-verified from scratch on every run. A verdict is a pure
-   function of the printed kernel at the launch, so it persists across
-   processes exactly like a score: one marshalled file per verdict under
-   <GPCC_CACHE_DIR|_gpcc_cache>/verify, named by the digest and storing
-   the full kernel text as a collision guard. Any read or write failure
-   degrades to recomputation. *)
+   function of the printed kernel (at the launch, for the concrete
+   verifier), so it persists across processes exactly like a score —
+   through {!Gpcc_util.Store}, as the ["verdict"] and ["pverdict"]
+   kinds. The store key is the full kernel text, so the store's key
+   guard doubles as the digest-collision guard; corruption recovery,
+   atomic writes, locking and eviction all live in the store. The
+   per-domain LRU above stays in front as the memory tier. Any store
+   failure degrades to recomputation. *)
 
-(* v2: a plain-text header line precedes the marshalled payload, so a
-   wrong-format or truncated file is rejected before [Marshal.from_channel]
-   ever touches it (unmarshalling a torn blob can raise, or worse, read
-   garbage that happens to have a valid header word) *)
-let verify_format = "gpcc-verify-v2"
+module Store = Gpcc_util.Store
 
-let verify_disk_dir =
-  lazy
-    (let root =
-       match Sys.getenv_opt "GPCC_CACHE_DIR" with
-       | Some d when String.trim d <> "" -> d
-       | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
-     in
-     Filename.concat root "verify")
+let marshal_encode (v : 'a) : string = Marshal.to_string v []
 
-let rec mkdir_p path =
-  if not (Sys.file_exists path) then begin
-    mkdir_p (Filename.dirname path);
-    try Sys.mkdir path 0o755
-    with Sys_error _ when Sys.file_exists path -> ()
-  end
+(* the store's envelope already rejects truncation by length, but a
+   version-skew blob can still fail to unmarshal: treat any exception
+   as corrupt (the store then deletes the entry and we recompute) *)
+let marshal_decode (payload : string) : 'a option =
+  match (Marshal.from_string payload 0 : 'a) with
+  | v -> Some v
+  | exception _ -> None
 
-let verify_disk_read (path : string) (full : string) :
-    Verify.diagnostic list option =
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-      let verdict =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            match input_line ic with
-            | exception End_of_file -> `Corrupt
-            | header when not (String.equal header verify_format) ->
-                (* old format or garbage: either way the file can never
-                   be read again, reclaim it *)
-                `Corrupt
-            | _ -> (
-                match
-                  (Marshal.from_channel ic
-                    : string * Verify.diagnostic list)
-                with
-                | stored, ds when String.equal stored full -> `Hit ds
-                | _ -> `Collision (* keep: guards a digest collision *)
-                | exception _ -> `Corrupt))
-      in
-      match verdict with
-      | `Hit ds -> Some ds
-      | `Collision -> None
-      | `Corrupt ->
-          (* truncated by a killed writer or a full disk: a corrupt
-             verdict must not kill (or re-poison) every later sweep *)
-          (try Sys.remove path with Sys_error _ -> ());
-          None
+(* codec version 3: versions 1–2 were the hand-rolled pre-store
+   formats; bumping orphans them and the GC ages them out *)
+let verdict_kind : Verify.diagnostic list Store.kind =
+  Store.make_kind ~name:"verdict" ~version:"3" ~encode:marshal_encode
+    ~decode:marshal_decode
 
-let verify_tmp_seq = Atomic.make 0
+(* one entry per kernel, not per (kernel, launch): the parametric
+   result is launch-independent *)
+let pverdict_kind : Symverify.result Store.kind =
+  Store.make_kind ~name:"pverdict" ~version:"2" ~encode:marshal_encode
+    ~decode:marshal_decode
 
-let verify_disk_write (path : string) (full : string)
-    (ds : Verify.diagnostic list) : unit =
-  try
-    mkdir_p (Filename.dirname path);
-    let tmp =
-      Printf.sprintf "%s.tmp.%d.%d" path
-        (Domain.self () :> int)
-        (Atomic.fetch_and_add verify_tmp_seq 1)
-    in
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc verify_format;
-       output_char oc '\n';
-       Marshal.to_channel oc (full, ds) [];
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       (try Sys.remove tmp with Sys_error _ -> ());
-       raise e);
-    try Sys.rename tmp path
-    with Sys_error _ -> (
-      (* racing writer won; the values are equal *)
-      try Sys.remove tmp with Sys_error _ -> ())
-  with Sys_error _ -> ()
+(* one process-wide handle on the default root, shared by every domain
+   (the store is domain-safe); lazy so tests that set GPCC_CACHE_DIR
+   before first use are honored *)
+let store_handle : Store.t Lazy.t = lazy (Store.open_root ())
 
 let verify (t : t) ~(launch : Ast.launch) (k : Ast.kernel) :
     Verify.diagnostic list =
   timed @@ fun () ->
   let full = Pp.kernel_to_string ~launch k in
-  let dk = Digest.string full in
-  find t t.verify dk (fun () ->
-      let path =
-        Filename.concat
-          (Lazy.force verify_disk_dir)
-          (Digest.to_hex dk ^ ".verdict")
-      in
-      match verify_disk_read path full with
+  find t t.verify (Digest.string full) (fun () ->
+      let store = Lazy.force store_handle in
+      match Store.find store verdict_kind ~key:full with
       | Some ds -> ds
       | None ->
           let ds = Verify.check ~launch k in
-          verify_disk_write path full ds;
+          Store.store store verdict_kind ~key:full ds;
           ds)
-
-(* --- persistent parametric (symbolic) verdict store ----------------- *)
-(* One entry per kernel, not per (kernel, launch): the parametric result
-   is launch-independent, so it lives under the same cache directory as
-   the concrete verdicts but with its own extension and header.  Old
-   per-config [.verdict] files remain readable by [verify] above. *)
-let symverify_format = "gpcc-symverify-v1"
-
-let symverify_disk_read (path : string) (full : string) :
-    Symverify.result option =
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic -> (
-      let verdict =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            match input_line ic with
-            | exception End_of_file -> `Corrupt
-            | header when not (String.equal header symverify_format) ->
-                `Corrupt
-            | _ -> (
-                match
-                  (Marshal.from_channel ic : string * Symverify.result)
-                with
-                | stored, r when String.equal stored full -> `Hit r
-                | _ -> `Collision
-                | exception _ -> `Corrupt))
-      in
-      match verdict with
-      | `Hit r -> Some r
-      | `Collision -> None
-      | `Corrupt ->
-          (try Sys.remove path with Sys_error _ -> ());
-          None)
-
-let symverify_disk_write (path : string) (full : string)
-    (r : Symverify.result) : unit =
-  try
-    mkdir_p (Filename.dirname path);
-    let tmp =
-      Printf.sprintf "%s.tmp.%d.%d" path
-        (Domain.self () :> int)
-        (Atomic.fetch_and_add verify_tmp_seq 1)
-    in
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc symverify_format;
-       output_char oc '\n';
-       Marshal.to_channel oc (full, r) [];
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       (try Sys.remove tmp with Sys_error _ -> ());
-       raise e);
-    try Sys.rename tmp path
-    with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
-  with Sys_error _ -> ()
 
 let symbolic_result (t : t) (k : Ast.kernel) : Symverify.result =
   let full = Pp.kernel_to_string k in
-  let dk = Digest.string full in
-  find t t.symbolic dk (fun () ->
-      let path =
-        Filename.concat
-          (Lazy.force verify_disk_dir)
-          (Digest.to_hex dk ^ ".pverdict")
-      in
-      match symverify_disk_read path full with
+  find t t.symbolic (Digest.string full) (fun () ->
+      let store = Lazy.force store_handle in
+      match Store.find store pverdict_kind ~key:full with
       | Some r -> r
       | None ->
           let r = Symverify.check k in
-          symverify_disk_write path full r;
+          Store.store store pverdict_kind ~key:full r;
           r)
 
 (* escape hatch for A/B measurement and debugging: GPCC_SYMVERIFY=0

@@ -21,6 +21,44 @@ type bundle = {
 
 exception No_version of string
 
+(* --- persistence ---------------------------------------------------- *)
+(* A bundle is a pure function of (naive kernel, GPU list, measurement
+   context), so it persists through the artifact store like any other
+   search result: the whole per-hardware selection is skipped on a warm
+   run. The caller's key must embed the measurement context (workload,
+   problem size); [key_of] appends what the bundle itself determines. *)
+
+module Store = Gpcc_util.Store
+
+let bundle_kind : bundle Store.kind =
+  Store.make_kind ~name:"bundle" ~version:"1"
+    ~encode:(fun (b : bundle) -> Marshal.to_string b [])
+    ~decode:(fun payload ->
+      match (Marshal.from_string payload 0 : bundle) with
+      | b -> Some b
+      | exception _ -> None)
+
+let key_of ~(prefix : string) ~(gpus : Gpcc_sim.Config.t list)
+    (naive : Gpcc_ast.Ast.kernel) : string =
+  String.concat "\x00"
+    (prefix
+    :: List.map (fun (g : Gpcc_sim.Config.t) -> g.name) gpus
+    @ [ Gpcc_ast.Pp.kernel_to_string naive ])
+
+let save ?store ~(prefix : string) ~(gpus : Gpcc_sim.Config.t list)
+    (naive : Gpcc_ast.Ast.kernel) (b : bundle) : unit =
+  let store =
+    match store with Some s -> s | None -> Store.open_root ()
+  in
+  Store.store store bundle_kind ~key:(key_of ~prefix ~gpus naive) b
+
+let load ?store ~(prefix : string) ~(gpus : Gpcc_sim.Config.t list)
+    (naive : Gpcc_ast.Ast.kernel) : bundle option =
+  let store =
+    match store with Some s -> s | None -> Store.open_root ()
+  in
+  Store.find store bundle_kind ~key:(key_of ~prefix ~gpus naive)
+
 (** Compile and empirically select one version per target GPU.
     [measure] scores a candidate on a given machine (typically a
     simulator run with the intended input sizes). *)
@@ -41,6 +79,22 @@ let build ?(gpus = [ Gpcc_sim.Config.gtx8800; Gpcc_sim.Config.gtx280 ])
       gpus
   in
   { kernel_name = naive.Gpcc_ast.Ast.k_name; entries }
+
+(** [build], memoized through the artifact store: a warm run skips the
+    entire per-hardware search. [prefix] must name the measurement
+    context (workload, problem size) so two contexts never share a
+    bundle. *)
+let build_cached ?store ~(prefix : string)
+    ?(gpus = [ Gpcc_sim.Config.gtx8800; Gpcc_sim.Config.gtx280 ])
+    ~(measure :
+       Gpcc_sim.Config.t -> Gpcc_ast.Ast.kernel -> Gpcc_ast.Ast.launch -> float)
+    (naive : Gpcc_ast.Ast.kernel) : bundle =
+  match load ?store ~prefix ~gpus naive with
+  | Some b -> b
+  | None ->
+      let b = build ~gpus ~measure naive in
+      save ?store ~prefix ~gpus naive b;
+      b
 
 (** The version selected for a GPU (by config name). *)
 let pick (b : bundle) (gpu_name : string) : Compiler.result =

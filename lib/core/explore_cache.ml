@@ -1,72 +1,35 @@
-(** Persistent on-disk exploration-score cache. See the mli for the
-    layout and concurrency story. *)
+(** Persistent exploration-score cache: a thin typed view over
+    {!Gpcc_util.Store} (the ["score"] kind) with an in-memory memo tier
+    in front. See the mli. *)
+
+module Store = Gpcc_util.Store
+
+(* %h round-trips every finite float losslessly *)
+let score_kind : float Store.kind =
+  Store.make_kind ~name:"score" ~version:"1"
+    ~encode:(fun s -> Printf.sprintf "%h" s)
+    ~decode:(fun payload -> float_of_string_opt (String.trim payload))
 
 type t = {
-  root : string;
+  store : Store.t;
   memo : (string, float) Hashtbl.t;
   mutex : Mutex.t;
   mutable hit_count : int;
   mutable miss_count : int;
-  mutable tmp_seq : int;
 }
 
-(* bump when the entry format changes: old files stop resolving *)
-let format_version = "gpcc-cache-v1"
-
-let default_dir () =
-  match Sys.getenv_opt "GPCC_CACHE_DIR" with
-  | Some d when String.trim d <> "" -> d
-  | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
-
-let rec mkdir_p path =
-  if not (Sys.file_exists path) then begin
-    mkdir_p (Filename.dirname path);
-    try Sys.mkdir path 0o755
-    with Sys_error _ when Sys.file_exists path -> ()
-  end
+let default_dir () = Store.default_root ()
 
 let open_dir ?dir () : t =
-  let root = match dir with Some d -> d | None -> default_dir () in
-  mkdir_p root;
   {
-    root;
+    store = Store.open_root ?root:dir ();
     memo = Hashtbl.create 64;
     mutex = Mutex.create ();
     hit_count = 0;
     miss_count = 0;
-    tmp_seq = 0;
   }
 
-let dir (c : t) = c.root
-
-let path_of_key (c : t) (key : string) : string =
-  Filename.concat c.root
-    (Digest.to_hex (Digest.string (format_version ^ "\n" ^ key)) ^ ".score")
-
-(* entry file: line 1 the full key, line 2 the score in %h (lossless) *)
-type entry_read =
-  | Hit of float
-  | Miss  (** no file, or a different key (digest-collision guard) *)
-  | Corrupt  (** torn / truncated / unparsable: the file is garbage *)
-
-let read_entry (path : string) (key : string) : entry_read =
-  match open_in_bin path with
-  | exception Sys_error _ -> Miss
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match
-            let stored_key = input_line ic in
-            let score_line = input_line ic in
-            (stored_key, score_line)
-          with
-          | stored_key, score_line when String.equal stored_key key -> (
-              match float_of_string_opt (String.trim score_line) with
-              | Some s -> Hit s
-              | None -> Corrupt)
-          | _ -> Miss
-          | exception End_of_file -> Corrupt)
+let dir (c : t) = Store.root c.store
 
 let locked (c : t) (f : unit -> 'a) : 'a =
   Mutex.lock c.mutex;
@@ -78,17 +41,11 @@ let find (c : t) (key : string) : float option =
         match Hashtbl.find_opt c.memo key with
         | Some _ as s -> s
         | None -> (
-            let path = path_of_key c key in
-            match read_entry path key with
-            | Hit s ->
+            match Store.find c.store score_kind ~key with
+            | Some s ->
                 Hashtbl.replace c.memo key s;
                 Some s
-            | Miss -> None
-            | Corrupt ->
-                (* a torn or truncated entry (killed writer, full disk)
-                   must not poison future runs: drop it and re-measure *)
-                (try Sys.remove path with Sys_error _ -> ());
-                None)
+            | None -> None)
       in
       (match result with
       | Some _ -> c.hit_count <- c.hit_count + 1
@@ -96,44 +53,14 @@ let find (c : t) (key : string) : float option =
       result)
 
 let store (c : t) (key : string) (score : float) : unit =
-  let path = path_of_key c key in
-  let tmp =
-    locked c (fun () ->
-        Hashtbl.replace c.memo key score;
-        c.tmp_seq <- c.tmp_seq + 1;
-        Printf.sprintf "%s.tmp.%d.%d" path
-          (Domain.self () :> int)
-          c.tmp_seq)
-  in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc key;
-     output_char oc '\n';
-     output_string oc (Printf.sprintf "%h\n" score);
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  try Sys.rename tmp path
-  with Sys_error _ -> ( (* racing writer won; our value is equivalent *)
-    try Sys.remove tmp with Sys_error _ -> ())
+  locked c (fun () -> Hashtbl.replace c.memo key score);
+  Store.store c.store score_kind ~key score
 
 let hits (c : t) : int = locked c (fun () -> c.hit_count)
 let misses (c : t) : int = locked c (fun () -> c.miss_count)
-
-let entry_files (c : t) : string list =
-  match Sys.readdir c.root with
-  | exception Sys_error _ -> []
-  | names ->
-      Array.to_list names
-      |> List.filter (fun n -> Filename.check_suffix n ".score")
-      |> List.map (Filename.concat c.root)
-
-let entries (c : t) : int = List.length (entry_files c)
+let entries (c : t) : int = Store.entries ~kind:"score" c.store
+let gc (c : t) : Store.gc_stats = Store.gc c.store
 
 let clear (c : t) : unit =
   locked c (fun () -> Hashtbl.reset c.memo);
-  List.iter
-    (fun p -> try Sys.remove p with Sys_error _ -> ())
-    (entry_files c)
+  Store.clear ~kind:"score" c.store

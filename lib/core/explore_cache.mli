@@ -1,4 +1,4 @@
-(** Persistent on-disk cache of design-space exploration scores.
+(** Persistent cache of design-space exploration scores.
 
     The Section-4 empirical search measures every candidate kernel on
     the simulator; the measurement is deterministic for a fixed
@@ -7,20 +7,20 @@
     by convention [gpu/workload/size/...] plus a digest of the compiled
     kernel text, see {!Explore.search} — to the measured score (GFLOPS).
 
-    Layout: one file per entry under the cache directory, named by the
-    MD5 of the key; the file stores the full key (guarding against
-    digest collisions) and the score. Writes go through a temp file and
-    an atomic [rename], so concurrent writers (pool workers, or two
-    bench processes) never expose a torn entry. Entries are invalidated
+    This is a thin typed view over {!Gpcc_util.Store} (the ["score"]
+    kind): sharded layout, atomic writes, multi-process locking,
+    corruption/collision recovery and eviction all live there. In front
+    of the store each handle keeps an in-memory memo, so repeated
+    lookups of a hot key never touch the disk. Entries are invalidated
     implicitly: keys embed the compiled kernel digest, so any compiler
-    change that alters generated code changes the key. Stale files are
-    only reclaimed by {!clear} (or deleting the directory). *)
+    change that alters generated code changes the key; stale entries
+    age out through the store GC (or {!clear}). *)
 
 type t
 
 val default_dir : unit -> string
-(** [GPCC_CACHE_DIR] if set, else ["_gpcc_cache"] in the current
-    working directory. *)
+(** {!Gpcc_util.Store.default_root}: [$GPCC_CACHE_DIR] if set, else
+    [_gpcc_cache] under the nearest enclosing project root. *)
 
 val open_dir : ?dir:string -> unit -> t
 (** Open (creating if needed) the cache rooted at [dir] (default
@@ -29,25 +29,29 @@ val open_dir : ?dir:string -> unit -> t
 val dir : t -> string
 
 val find : t -> string -> float option
-(** Look the key up, first in the in-memory memo, then on disk. Counts
-    a hit or a miss. A corrupt entry file (torn or truncated by a killed
-    writer or a full disk) is deleted and reported as a miss, so the
-    score is simply re-measured; a file whose stored key differs (an MD5
-    collision) is kept and reported as a miss. Thread-safe. *)
+(** Look the key up, first in the in-memory memo, then in the store.
+    Counts a hit or a miss (on this handle; store-tier lookups also
+    count in the store's global counters). Corrupt entries are deleted
+    and re-measured; digest collisions are kept and reported as a miss
+    (both handled by the store). Thread-safe. *)
 
 val store : t -> string -> float -> unit
-(** Persist a score for a key (atomic write; also memoized in memory).
-    Thread-safe. *)
+(** Persist a score for a key (atomic write through the store; also
+    memoized in memory). Thread-safe. *)
 
 val hits : t -> int
-(** Number of [find]s answered from memo or disk since [open_dir]. *)
+(** Number of [find]s answered from memo or store since [open_dir]. *)
 
 val misses : t -> int
 (** Number of [find]s that found nothing since [open_dir]. *)
 
 val entries : t -> int
-(** Number of entry files currently on disk. *)
+(** Number of score entries currently on disk. *)
+
+val gc : t -> Gpcc_util.Store.gc_stats
+(** Run the store's garbage collector (budget from
+    [$GPCC_CACHE_MAX_MB]). *)
 
 val clear : t -> unit
-(** Delete every entry file and reset the in-memory memo (counters are
-    kept). *)
+(** Delete every score entry and reset the in-memory memo (counters
+    are kept; other artifact kinds in the same store are untouched). *)

@@ -1,0 +1,189 @@
+(** The content-addressed artifact store: one persistent, concurrent-safe
+    home for every durable result the compiler produces.
+
+    The expensive part of GPGPU compilation is the search, and every
+    stage of it is a pure function of its inputs: exploration scores,
+    verifier verdicts (concrete and parametric), deployment bundles.
+    Each used to keep its own hand-rolled single-writer cache; this
+    module is the one implementation they all share, safe under many
+    concurrent processes — the substrate the compile-service daemon
+    serves a fleet from.
+
+    {2 Layout}
+
+    Entries live under a root directory, sharded by digest to keep any
+    single directory small (a flat directory degrades on many
+    filesystems past a few tens of thousands of entries):
+
+    {v
+    <root>/ab/cdef0123456789abcdef0123456789.<kind>
+    <root>/.lock
+    v}
+
+    The 32-hex-digit name is the MD5 of (format version, kind name,
+    codec version, key); the first two digits name the shard. The file
+    itself stores a header line, the full key (guarding against digest
+    collisions) and the codec-encoded payload, with byte lengths in the
+    header so truncation is detected before any payload is decoded.
+
+    {2 Concurrency}
+
+    Entry writes go through a temp file (named with the writer's pid
+    plus a random suffix, so a crashed writer can never collide with a
+    later one) and an atomic [rename]; readers therefore always see a
+    complete entry or none. On top of that, writers hold a {e shared}
+    advisory lock on [<root>/.lock] (via [lockf]) while renaming, and
+    the garbage collector holds the {e exclusive} lock while sweeping —
+    so eviction can never race a rename into losing a fresh entry.
+    Because POSIX record locks are per-process, the same protocol is
+    mirrored in-process with a readers-writer monitor shared by every
+    handle on the same root. Lock waits are counted in
+    {!global_lock_contention}.
+
+    {2 Eviction}
+
+    [gc] reclaims three things: temp files older than a threshold
+    (crashed writers), entries older than a maximum age, and — when the
+    store exceeds a size budget — the least-recently-used entries until
+    it fits. Recency is the entry file's mtime: a read hit touches the
+    file, so the mtime is the LRU clock. An entry whose mtime is at or
+    after the start of the GC pass is never evicted by that pass.
+
+    {2 Versioning}
+
+    The store format version and each kind's codec version participate
+    in the digest, so a format or codec change orphans old entries
+    rather than misreading them; orphans age out through the size/age
+    GC (or [clear]). A file whose header doesn't parse, whose kind or
+    version don't match its name, or whose lengths disagree with its
+    size is corrupt (killed writer, full disk): it is deleted and
+    reported as a miss, so the artifact is simply recomputed. A file
+    storing a {e different} key (an MD5 collision) is kept and reported
+    as a miss. *)
+
+type t
+
+(** {1 Kinds: typed codecs} *)
+
+(** A kind is a typed namespace of artifacts: a file extension, a codec
+    version and an encode/decode pair. *)
+type 'a kind
+
+val make_kind :
+  name:string ->
+  version:string ->
+  encode:('a -> string) ->
+  decode:(string -> 'a option) ->
+  'a kind
+(** [name] is the file extension (e.g. ["score"]) and must be non-empty,
+    made of letters, digits, ['-'] and ['_']. [decode] returns [None] on
+    any payload it cannot parse (the entry is then treated as corrupt:
+    deleted and reported as a miss). *)
+
+val kind_name : _ kind -> string
+
+(** {1 Opening} *)
+
+val resolve_root : ?cwd:string -> unit -> string
+(** The directory the default store lives in: [$GPCC_CACHE_DIR] when set
+    and non-empty; otherwise [_gpcc_cache] under the nearest enclosing
+    directory (starting from [cwd], default [Sys.getcwd ()]) containing
+    a [dune-project] or [.git] marker; otherwise [_gpcc_cache] under
+    [cwd] itself. Anchoring at the project root keeps every invocation
+    of the tools — from whatever subdirectory — on one shared cache
+    instead of silently forking it per working directory. *)
+
+val default_root : unit -> string
+(** [resolve_root ()]. *)
+
+val open_root : ?root:string -> ?auto_gc:bool -> unit -> t
+(** Open (creating if needed) the store rooted at [root] (default
+    {!default_root}). When [auto_gc] is [true] (the default) and
+    [$GPCC_CACHE_MAX_MB] is set, the store is garbage-collected down to
+    that budget if it exceeds it. *)
+
+val root : t -> string
+
+(** {1 Reading and writing} *)
+
+val find : t -> 'a kind -> key:string -> 'a option
+(** Look an artifact up by its full key. A hit touches the entry's
+    mtime (the LRU clock) and counts in {!hits}/{!global_hits}; a miss,
+    a digest collision or a corrupt entry (deleted) counts as a miss. *)
+
+val store : t -> 'a kind -> key:string -> 'a -> unit
+(** Persist an artifact (atomic tmp+rename under the shared lock).
+    Losing a rename race to a concurrent writer is silently accepted:
+    artifacts are content-addressed, so the racing value is
+    equivalent. *)
+
+(** {1 Inspection} *)
+
+val entries : ?kind:string -> t -> int
+(** Entry files on disk, optionally restricted to one kind. *)
+
+type kind_stats = {
+  ks_kind : string;
+  ks_entries : int;
+  ks_bytes : int;
+}
+
+type disk_stats = {
+  ds_entries : int;
+  ds_bytes : int;
+  ds_tmp_files : int;
+  ds_kinds : kind_stats list;  (** sorted by kind name *)
+}
+
+val disk_stats : t -> disk_stats
+
+(** {1 Eviction} *)
+
+type gc_stats = {
+  gc_live : int;  (** entries kept *)
+  gc_live_bytes : int;
+  gc_evicted : int;  (** entries removed by the age or size policy *)
+  gc_evicted_bytes : int;
+  gc_swept_tmps : int;  (** stale temp files removed *)
+}
+
+val gc :
+  ?max_bytes:int ->
+  ?max_age_s:float ->
+  ?tmp_ttl_s:float ->
+  ?now:float ->
+  t ->
+  gc_stats
+(** Collect garbage under the exclusive lock. Temp files older than
+    [tmp_ttl_s] (default one hour) are always swept. Entries older than
+    [max_age_s] (default: no age limit) are evicted; then, if the live
+    set still exceeds [max_bytes] (default: [$GPCC_CACHE_MAX_MB], else
+    no size limit), least-recently-used entries are evicted until it
+    fits. Entries touched at or after the start of the pass ([now],
+    default the current time — explicit only for tests) are never
+    evicted. *)
+
+val default_max_bytes : unit -> int option
+(** [$GPCC_CACHE_MAX_MB] parsed to bytes, when set and positive. *)
+
+val clear : ?kind:string -> t -> unit
+(** Delete every entry (of one kind, or of all kinds plus stray temp
+    and legacy files when [kind] is omitted). Holds the exclusive
+    lock. *)
+
+(** {1 Counters}
+
+    Per-handle counters on [t], and process-global counters aggregated
+    across every handle and domain (what the bench JSON reports). *)
+
+val hits : t -> int
+val misses : t -> int
+val global_hits : unit -> int
+val global_misses : unit -> int
+
+val global_evictions : unit -> int
+(** Entries evicted by [gc] (age or size policy; tmp sweeps and
+    [clear] are not counted). *)
+
+val global_lock_contention : unit -> int
+(** Times a lock acquisition (in-process or on-disk) had to wait. *)

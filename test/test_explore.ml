@@ -357,10 +357,22 @@ let test_cache_corrupt_entry () =
   let dir = fresh_cache_dir () in
   let c = Gpcc_core.Explore_cache.open_dir ~dir () in
   Gpcc_core.Explore_cache.store c "k1" 42.0;
+  (* the store shards entries into two-hex-digit subdirectories; find
+     the single entry file wherever it landed *)
+  let entry_files () =
+    Sys.readdir dir |> Array.to_list
+    |> List.concat_map (fun n ->
+           let sub = Filename.concat dir n in
+           if Sys.is_directory sub then
+             Sys.readdir sub |> Array.to_list |> List.map (Filename.concat sub)
+           else [])
+  in
   let file =
-    match Sys.readdir dir with
-    | [| f |] -> Filename.concat dir f
-    | _ -> Alcotest.fail "expected exactly one entry file"
+    match entry_files () with
+    | [ f ] -> f
+    | fs ->
+        Alcotest.failf "expected exactly one entry file, got %d"
+          (List.length fs)
   in
   let overwrite content =
     let oc = open_out_bin file in
@@ -376,12 +388,12 @@ let test_cache_corrupt_entry () =
     Alcotest.(check bool)
       (what ^ " is deleted on read") false (Sys.file_exists file)
   in
-  (* truncated: the writer died after the key line *)
-  overwrite "k1\n";
+  (* truncated: the writer died mid-header *)
+  overwrite "gpcc-store-v1 score";
   check_dropped "truncated entry";
   Gpcc_core.Explore_cache.store c "k1" 42.0;
-  (* unparsable score *)
-  overwrite "k1\nnot-a-float\n";
+  (* envelope intact but the payload is not a float *)
+  overwrite "gpcc-store-v1 score 1 2 11\nk1not-a-float";
   check_dropped "garbage score";
   (* after deletion the slot is reusable *)
   Gpcc_core.Explore_cache.store c "k1" 7.5;
@@ -389,9 +401,10 @@ let test_cache_corrupt_entry () =
   Alcotest.(check (option (float 1e-12)))
     "re-stored after corruption" (Some 7.5)
     (Gpcc_core.Explore_cache.find c3 "k1");
-  (* a key mismatch (digest collision guard) is a miss but NOT deleted *)
+  (* a well-formed entry storing a different key (digest collision
+     guard) is a miss but NOT deleted *)
   let oc = open_out_bin file in
-  output_string oc "some-other-key\n0x1p+1\n";
+  output_string oc "gpcc-store-v1 score 1 14 6\nsome-other-key0x1p+1";
   close_out oc;
   let c4 = Gpcc_core.Explore_cache.open_dir ~dir () in
   Alcotest.(check (option (float 0.)))

@@ -1,6 +1,9 @@
 (** Test-suite entry point: every module contributes one Alcotest suite. *)
 
 let () =
+  (* the store's multi-process stress test re-execs this binary as its
+     writer children; divert before the test harness takes over *)
+  Test_store.maybe_run_child ();
   Alcotest.run "gpcc"
     [
       Test_parser.suite;
@@ -14,6 +17,7 @@ let () =
       Test_backend.suite;
       Test_passes.suite;
       Test_workloads.suite;
+      Test_store.suite;
       Test_explore.suite;
       Test_compiler.suite;
       Test_pipeline.suite;

@@ -250,17 +250,46 @@ let test_verify_disk_corruption () =
   let fresh = Gpcc_analysis.Verify.check ~launch k in
   let d1 = Cache.verify (Cache.create ()) ~launch k in
   Alcotest.(check bool) "baseline verdict" true (d1 = fresh);
-  (* the verdict file location mirrors Analysis_cache.verify *)
-  let root =
-    match Sys.getenv_opt "GPCC_CACHE_DIR" with
-    | Some d when String.trim d <> "" -> d
-    | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
-  in
+  (* verdicts now live in the sharded artifact store; locate this
+     kernel's entry by its stored key (the full kernel text) rather
+     than re-deriving the digest scheme *)
+  let root = Gpcc_util.Store.default_root () in
   let full = Gpcc_ast.Pp.kernel_to_string ~launch k in
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i =
+      i + n <= h && (String.equal (String.sub hay i n) needle || scan (i + 1))
+    in
+    scan 0
+  in
+  let verdict_files () =
+    Sys.readdir root |> Array.to_list
+    |> List.concat_map (fun shard ->
+           let d = Filename.concat root shard in
+           if Sys.is_directory d then
+             Sys.readdir d |> Array.to_list
+                (* note: [check_suffix ".verdict"] would also match
+                   the parametric ".pverdict" entries *)
+             |> List.filter (fun f -> Filename.extension f = ".verdict")
+             |> List.map (Filename.concat d)
+           else [])
+  in
   let path =
-    Filename.concat
-      (Filename.concat root "verify")
-      (Digest.to_hex (Digest.string full) ^ ".verdict")
+    match
+      List.filter
+        (fun p -> contains ~needle:full (read_file p))
+        (verdict_files ())
+    with
+    | [ p ] -> p
+    | ps ->
+        Alcotest.failf "expected exactly one verdict entry for kernel, got %d"
+          (List.length ps)
   in
   Alcotest.(check bool) "verdict file exists" true (Sys.file_exists path);
   let overwrite content =

@@ -264,15 +264,38 @@ let test_pverdict_disk_corruption () =
   let fresh = SV.check k in
   let r1 = Cache.symbolic_result (Cache.create ()) k in
   Alcotest.(check bool) "baseline verdict" true (r1 = fresh);
-  let root =
-    match Sys.getenv_opt "GPCC_CACHE_DIR" with
-    | Some d when String.trim d <> "" -> d
-    | _ -> Filename.concat (Sys.getcwd ()) "_gpcc_cache"
+  (* pverdicts live in the sharded artifact store, keyed by the full
+     kernel text; find this kernel's entry by its stored key *)
+  let root = Gpcc_util.Store.default_root () in
+  let full = Pp.kernel_to_string k in
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i =
+      i + n <= h && (String.equal (String.sub hay i n) needle || scan (i + 1))
+    in
+    scan 0
   in
   let path =
-    Filename.concat
-      (Filename.concat root "verify")
-      (Digest.to_hex (Digest.string (Pp.kernel_to_string k)) ^ ".pverdict")
+    Sys.readdir root |> Array.to_list
+    |> List.concat_map (fun shard ->
+           let d = Filename.concat root shard in
+           if Sys.is_directory d then
+             Sys.readdir d |> Array.to_list
+             |> List.filter (fun f -> Filename.extension f = ".pverdict")
+             |> List.map (Filename.concat d)
+           else [])
+    |> List.filter (fun p -> contains ~needle:full (read_file p))
+    |> function
+    | [ p ] -> p
+    | ps ->
+        Alcotest.failf "expected exactly one pverdict entry, got %d"
+          (List.length ps)
   in
   Alcotest.(check bool) "pverdict file exists" true (Sys.file_exists path);
   let overwrite content =
