@@ -698,59 +698,110 @@ let ablations () =
   note "each row isolates one mechanism: bank-conflict padding, the hardware coalescing rule, prefetch double-buffering, and the Section-4 empirical search"
 
 (* ------------------------------------------------------------------ *)
-(* Simulator-backend microbenchmark: compiled vs reference             *)
+(* Simulator-backend microbenchmark: vector vs compiled vs reference   *)
 (* ------------------------------------------------------------------ *)
 
-(** Blocks simulated per second, per workload, for the closure-compiled
-    backend vs the tree-walking reference interpreter. Naive kernels at
-    [test_size], full grid, serial execution in both backends so the
-    measurement isolates the interpreter itself, compile cache warm. *)
+(** Blocks simulated per second, per workload, for the warp-vectorized
+    plane backend vs the closure-compiled backend vs the tree-walking
+    reference interpreter. Naive kernels at [test_size] (plus the fixed
+    SDK-transpose and CUBLAS comparator artifacts), full grid, serial
+    execution in every backend so the measurement isolates the
+    interpreter itself, compile caches warm.
+
+    [GPCC_BENCH_REPS=N] switches from the wall-clock budget to exactly
+    [N] timed repetitions per backend — fixed work, so two columns of
+    one run are comparable as a ratio in CI. *)
 let interp () =
-  section "Interpreter backends: blocks/s, compiled vs reference (naive, serial)";
+  section
+    "Interpreter backends: blocks/s, vector vs compiled vs reference (naive, \
+     serial)";
   let module L = Gpcc_sim.Launch in
-  Printf.printf "  %-14s %8s | %12s %12s %9s\n" "workload" "blocks"
-    "compiled" "reference" "speedup";
+  let fixed_reps =
+    match Sys.getenv_opt "GPCC_BENCH_REPS" with
+    | Some s -> (
+        match int_of_string_opt s with Some r when r >= 1 -> Some r | _ -> None)
+    | None -> None
+  in
+  Printf.printf "  %-16s %8s | %11s %11s %11s %9s %9s\n" "workload" "blocks"
+    "vector" "compiled" "reference" "vec/comp" "comp/ref";
+  let bench label (k : Gpcc_ast.Ast.kernel) (launch : Gpcc_ast.Ast.launch)
+      (inputs : (string * float array) list) =
+    let nblocks = Gpcc_ast.Ast.total_blocks launch in
+    let run backend =
+      let mem = Gpcc_sim.Devmem.of_kernel k in
+      List.iter
+        (fun (name, d) ->
+          if Gpcc_sim.Devmem.find mem name <> None then
+            Gpcc_sim.Devmem.write mem name d)
+        inputs;
+      ignore (L.run ~mode:L.Full ~backend ~jobs:1 gtx280 k launch mem)
+    in
+    (* warm every backend (and the plan/compile caches) before timing *)
+    run L.Vector;
+    run L.Compiled;
+    run L.Reference;
+    let blocks_per_s backend =
+      match fixed_reps with
+      | Some r ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to r do
+            run backend
+          done;
+          float_of_int (r * nblocks) /. (Unix.gettimeofday () -. t0)
+      | None ->
+          let budget = if fast then 0.2 else 0.5 in
+          let reps = ref 0 in
+          let t0 = Unix.gettimeofday () in
+          while Unix.gettimeofday () -. t0 < budget || !reps = 0 do
+            run backend;
+            incr reps
+          done;
+          float_of_int (!reps * nblocks) /. (Unix.gettimeofday () -. t0)
+    in
+    let bv = blocks_per_s L.Vector in
+    let bc = blocks_per_s L.Compiled in
+    let br = blocks_per_s L.Reference in
+    let speedup = bc /. Float.max 1e-9 br in
+    let vec_over_comp = bv /. Float.max 1e-9 bc in
+    Record.add
+      [
+        ("workload", Json_out.Str label);
+        ("backend", Json_out.Str (L.backend_name (L.backend_of_env ())));
+        ("blocks", Json_out.Int nblocks);
+        ("blocks_per_s_vector", Json_out.Float bv);
+        ("blocks_per_s_compiled", Json_out.Float bc);
+        ("blocks_per_s_reference", Json_out.Float br);
+        ("vector_over_compiled", Json_out.Float vec_over_comp);
+        ("speedup", Json_out.Float speedup);
+      ];
+    Printf.printf "  %-16s %8d | %11.0f %11.0f %11.0f %8.2fx %8.2fx\n%!" label
+      nblocks bv bc br vec_over_comp speedup
+  in
   List.iter
     (fun (w : Workload.t) ->
       let n = w.test_size in
       let k = Workload.parse w n in
       let launch = Option.get (Gpcc_passes.Pass_util.naive_launch k) in
-      let nblocks = Gpcc_ast.Ast.total_blocks launch in
-      let run backend =
-        let mem = Gpcc_sim.Devmem.of_kernel k in
-        List.iter
-          (fun (name, d) -> Gpcc_sim.Devmem.write mem name d)
-          (w.inputs n);
-        ignore (L.run ~mode:L.Full ~backend ~jobs:1 gtx280 k launch mem)
-      in
-      (* warm both paths (and the compile cache) before timing *)
-      run L.Compiled;
-      run L.Reference;
-      let blocks_per_s backend =
-        let budget = if fast then 0.2 else 0.5 in
-        let reps = ref 0 in
-        let t0 = Unix.gettimeofday () in
-        while Unix.gettimeofday () -. t0 < budget || !reps = 0 do
-          run backend;
-          incr reps
-        done;
-        float_of_int (!reps * nblocks) /. (Unix.gettimeofday () -. t0)
-      in
-      let bc = blocks_per_s L.Compiled in
-      let br = blocks_per_s L.Reference in
-      let speedup = bc /. Float.max 1e-9 br in
-      Record.add
-        [
-          ("workload", Json_out.Str w.name);
-          ("size", Json_out.Int n);
-          ("blocks", Json_out.Int nblocks);
-          ("blocks_per_s_compiled", Json_out.Float bc);
-          ("blocks_per_s_reference", Json_out.Float br);
-          ("speedup", Json_out.Float speedup);
-        ];
-      Printf.printf "  %-14s %8d | %12.0f %12.0f %8.2fx\n%!" w.name nblocks
-        bc br speedup)
-    Registry.all
+      bench w.name k launch (w.inputs n))
+    (Registry.all @ Registry.extras);
+  (* the fixed artifacts the paper compares against: the SDK transpose
+     pair (barrier-heavy shared-tile kernels) and the CUBLAS comparator
+     kernels (register-blocked, loop-heavy) *)
+  let tp = Registry.find_exn "tp" in
+  let tpn = tp.test_size in
+  let kp, lp = Sdk_transpose.prev tpn in
+  bench "sdk_tp_prev" kp lp (tp.inputs tpn);
+  let kn, ln = Sdk_transpose.new_ tpn in
+  bench "sdk_tp_new" kn ln (tp.inputs tpn);
+  List.iter
+    (fun (c : Cublas_sim.comparator) ->
+      let w = Registry.find_exn c.c_for in
+      let n = max w.test_size 128 in
+      bench
+        ("cublas_" ^ c.c_for)
+        (Cublas_sim.kernel c n)
+        (c.c_launch n) (w.inputs n))
+    Cublas_sim.all
 
 (* ------------------------------------------------------------------ *)
 (* Beyond the paper's evaluation: the AMD target it sketches in 3.1     *)
@@ -962,8 +1013,9 @@ let sections =
     clock, the worker-pool size and the exploration-cache traffic (hit
     and miss deltas over this section). *)
 let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
-    ~analysis_misses ~store_hits ~store_misses ~store_evictions
-    ~verify_wall_s ~sym_proofs ~concrete_fallbacks ~rows =
+    ~analysis_misses ~coalescer_hits ~coalescer_misses ~store_hits
+    ~store_misses ~store_evictions ~verify_wall_s ~sym_proofs
+    ~concrete_fallbacks ~rows =
   let cache_fields =
     (if Lazy.is_val explore_cache then
        let c = Lazy.force explore_cache in
@@ -979,6 +1031,10 @@ let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
     @ [
         ("analysis_hits", Json_out.Int analysis_hits);
         ("analysis_misses", Json_out.Int analysis_misses);
+        (* the simulator's transaction-formation memo (patterns digested
+           per half-warp request), aggregated across worker domains *)
+        ("coalescer_memo_hits", Json_out.Int coalescer_hits);
+        ("coalescer_memo_misses", Json_out.Int coalescer_misses);
         (* the shared artifact store (scores, verdicts, bundles),
            aggregated across every handle and domain *)
         ("store_hits", Json_out.Int store_hits);
@@ -1066,6 +1122,8 @@ let () =
           let hits0, misses0 = cache_traffic () in
           let ahits0 = Gpcc_analysis.Analysis_cache.global_hits ()
           and amisses0 = Gpcc_analysis.Analysis_cache.global_misses () in
+          let chits0 = Gpcc_sim.Coalescer.memo_hits ()
+          and cmisses0 = Gpcc_sim.Coalescer.memo_misses () in
           let shits0 = Gpcc_util.Store.global_hits ()
           and smisses0 = Gpcc_util.Store.global_misses ()
           and sevict0 = Gpcc_util.Store.global_evictions () in
@@ -1087,6 +1145,8 @@ let () =
               ~analysis_hits:(Gpcc_analysis.Analysis_cache.global_hits () - ahits0)
               ~analysis_misses:
                 (Gpcc_analysis.Analysis_cache.global_misses () - amisses0)
+              ~coalescer_hits:(Gpcc_sim.Coalescer.memo_hits () - chits0)
+              ~coalescer_misses:(Gpcc_sim.Coalescer.memo_misses () - cmisses0)
               ~store_hits:(Gpcc_util.Store.global_hits () - shits0)
               ~store_misses:(Gpcc_util.Store.global_misses () - smisses0)
               ~store_evictions:(Gpcc_util.Store.global_evictions () - sevict0)

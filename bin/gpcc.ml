@@ -53,6 +53,36 @@ let jobs_arg =
           "Worker domains for the design-space sweep (defaults to \
            \\$(b,GPCC_JOBS) or the recommended domain count).")
 
+let backend_conv =
+  let parse s =
+    match s with
+    | "vector" | "vec" | "compiled" | "compile" | "ref" | "reference" -> Ok s
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (vector, compiled, or reference)"
+               s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Simulator backend: $(b,vector) (default; executes a half-warp \
+           at a time over flat per-register planes), $(b,compiled) \
+           (per-thread OCaml closures), or $(b,reference) (tree-walking \
+           interpreter). Equivalent to setting \\$(b,GPCC_BACKEND); all \
+           backends are bit-identical.")
+
+(** The simulator reads the backend from the environment at each run, so
+    the flag just seeds it for this process. *)
+let apply_backend = function
+  | Some b -> Unix.putenv "GPCC_BACKEND" b
+  | None -> ()
+
 let handle_errors f =
   try f () with
   | Gpcc_ast.Lexer.Error (m, line) ->
@@ -173,8 +203,9 @@ let check_cmd =
 (* --- explore --- *)
 
 let explore_cmd =
-  let run cfg jobs prune threshold file =
+  let run cfg jobs backend prune threshold file =
     handle_errors (fun () ->
+        apply_backend backend;
         let source = read_file file in
         let k = Gpcc_ast.Parser.kernel_of_string source in
         (* persist scores through the shared artifact store so repeated
@@ -323,7 +354,9 @@ let explore_cmd =
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Enumerate the design space of merge configurations")
-    Term.(const run $ gpu_arg $ jobs_arg $ prune $ threshold $ file_arg)
+    Term.(
+      const run $ gpu_arg $ jobs_arg $ backend_arg $ prune $ threshold
+      $ file_arg)
 
 
 (* --- lint --- *)
@@ -519,8 +552,9 @@ let lint_cmd =
 (* --- bench --- *)
 
 let bench_cmd =
-  let run cfg name size =
+  let run cfg backend name size =
     handle_errors (fun () ->
+        apply_backend backend;
         match Gpcc_workloads.Registry.find name with
         | None ->
             Printf.eprintf "unknown workload %s (see `gpcc list`)\n" name;
@@ -556,7 +590,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Simulate a built-in workload, naive vs optimized")
-    Term.(const run $ gpu_arg $ name_arg $ size_arg)
+    Term.(const run $ gpu_arg $ backend_arg $ name_arg $ size_arg)
 
 (* --- deploy --- *)
 
@@ -730,9 +764,17 @@ let () =
   let man =
     [
       `S Manpage.s_environment;
-      `P "$(b,GPCC_INTERP) — simulator backend: $(b,compiled) (default) \
-          stages each kernel into OCaml closures once per launch; \
-          $(b,ref) selects the tree-walking reference interpreter.";
+      `P "$(b,GPCC_BACKEND) — simulator backend: $(b,vector) (default) \
+          executes a half-warp at a time over flat per-register planes; \
+          $(b,compiled) stages each kernel into per-thread OCaml closures \
+          once per launch; $(b,ref) selects the tree-walking reference \
+          interpreter. All three are bit-identical; kernels outside a \
+          backend's subset fall back per run (vector, then compiled, then \
+          reference). The $(b,--backend) flag on $(b,explore) and \
+          $(b,bench) sets this for one invocation.";
+      `P "$(b,GPCC_INTERP) — legacy spelling: $(b,ref) selects the \
+          reference interpreter, any other value the compiled backend; \
+          consulted only when $(b,GPCC_BACKEND) is unset.";
       `P "$(b,GPCC_JOBS) — worker domains for the design-space sweep and \
           parallel grid execution (default: recommended domain count).";
       `P "$(b,GPCC_CHECK) — enable the dynamic race checker (forces the \

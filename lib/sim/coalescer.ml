@@ -93,3 +93,94 @@ let shared_request ~(banks : int) (word_addrs : int list) : int =
     go [] word_addrs;
     Array.fold_left max 1 counts
   end
+
+(* --- memoized transaction counts ---
+
+   Timing only needs (transactions, bytes) per half-warp request, and
+   those are invariant under shifting every lane address by a multiple
+   of the coarsest alignment the rules inspect: the G80 base-alignment
+   check works modulo [16*elt_bytes], the GT200 segment split and
+   power-of-two shrink work modulo the segment size (whose halves all
+   divide it), and the uncoalesced fallback rounds to [min_tx]. So a
+   request digest of (rules, widths, lanes, addresses mod granularity)
+   keys a cache that turns the per-block recomputation of identical
+   access patterns into one table lookup. Absolute transaction
+   addresses are NOT shift-invariant, so partition-stream recording
+   ([record_tx]) must bypass this path. *)
+
+type mstate = {
+  tbl : (int array, int * int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let memo_mutex = Mutex.create ()
+
+(* one state per worker domain (no lock on the hot path); the registry
+   is only touched on domain-first-use and by the counter readers *)
+let memo_states : mstate list ref = ref []
+
+let memo_state : mstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { tbl = Hashtbl.create 256; hits = 0; misses = 0 } in
+      Mutex.lock memo_mutex;
+      memo_states := s :: !memo_states;
+      Mutex.unlock memo_mutex;
+      s)
+
+let sum_states f =
+  Mutex.lock memo_mutex;
+  let v = List.fold_left (fun acc s -> acc + f s) 0 !memo_states in
+  Mutex.unlock memo_mutex;
+  v
+
+let memo_hits () = sum_states (fun s -> s.hits)
+let memo_misses () = sum_states (fun s -> s.misses)
+
+(** Credit [n] hits taken by a caller-side cache layered over this memo
+    (the vector backend's per-site stride cache). *)
+let bump_hits n =
+  let st = Domain.DLS.get memo_state in
+  st.hits <- st.hits + n
+
+(* patterns per launch are few (tens); the cap only guards degenerate
+   address soups from e.g. fuzzed kernels *)
+let memo_max = 8192
+
+let request_cost (rules : Config.coalesce_rules) ~(min_tx : int)
+    ~(elt_bytes : int) ~(lane0 : int) ~(cnt : int) (addrs : int array) :
+    int * int =
+  let st = Domain.DLS.get memo_state in
+  let g =
+    let s = max 32 (16 * elt_bytes) in
+    if s mod min_tx = 0 then s else s * min_tx
+  in
+  let amin = ref addrs.(0) in
+  for t = 1 to cnt - 1 do
+    if addrs.(t) < !amin then amin := addrs.(t)
+  done;
+  let base = !amin / g * g in
+  let key = Array.make (5 + cnt) 0 in
+  key.(0) <- (match rules with Config.Strict_g80 -> 0 | Config.Relaxed_gt200 -> 1);
+  key.(1) <- min_tx;
+  key.(2) <- elt_bytes;
+  key.(3) <- lane0;
+  key.(4) <- cnt;
+  for t = 0 to cnt - 1 do
+    key.(5 + t) <- addrs.(t) - base
+  done;
+  match Hashtbl.find_opt st.tbl key with
+  | Some r ->
+      st.hits <- st.hits + 1;
+      r
+  | None ->
+      st.misses <- st.misses + 1;
+      let pairs =
+        List.init cnt (fun t -> (lane0 + t, addrs.(t) - base))
+      in
+      let txs = global_request rules ~min_tx ~elt_bytes pairs in
+      let ntx = List.length txs in
+      let bytes = List.fold_left (fun a t -> a + t.tx_bytes) 0 txs in
+      if Hashtbl.length st.tbl >= memo_max then Hashtbl.reset st.tbl;
+      Hashtbl.add st.tbl key (ntx, bytes);
+      (ntx, bytes)

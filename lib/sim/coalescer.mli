@@ -22,3 +22,28 @@ val global_request :
 (** Serialized cost (in conflict-free request units) of one half-warp
     shared-memory request; same-address lanes broadcast for free. *)
 val shared_request : banks:int -> int list -> int
+
+(** Memoized (transactions, bytes) of one half-warp request whose
+    active lanes are the contiguous run [lane0 .. lane0+cnt-1] (lane0 in
+    0..15) with byte addresses [addrs.(0..cnt-1)]. The result is keyed
+    by the access pattern digest — addresses modulo the coarsest
+    alignment the rules inspect — so identical patterns across blocks
+    cost one table lookup. Transaction {e addresses} are not
+    shift-invariant: callers recording the partition stream must use
+    {!global_request} directly. *)
+val request_cost :
+  Config.coalesce_rules ->
+  min_tx:int ->
+  elt_bytes:int ->
+  lane0:int ->
+  cnt:int ->
+  int array ->
+  int * int
+
+val memo_hits : unit -> int
+(** Pattern-cache hits across every worker domain (bench reporting). *)
+
+val memo_misses : unit -> int
+
+val bump_hits : int -> unit
+(** Credit hits taken by a caller-side cache layered over the memo. *)

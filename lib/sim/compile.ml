@@ -514,11 +514,11 @@ and comp_load st env arr idxs : cexpr =
             inst rt;
             let g = rt.globals.(gslot) in
             let data = g.Devmem.data in
-            let len = Array.length data in
+            let len = Bigarray.Array1.dim data in
             let o = eval_usteps steps rt m in
             if o < 0 || o >= len then
               Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
-            let v = data.(o) in
+            let v = data.{o} in
             let addr = g.Devmem.base + (o * 4) in
             Interp.account_global rt.c ~is_store:false ~elt_bytes:4 m (fun _ ->
                 addr);
@@ -529,7 +529,7 @@ and comp_load st env arr idxs : cexpr =
             inst rt;
             let g = rt.globals.(gslot) in
             let data = g.Devmem.data in
-            let len = Array.length data in
+            let len = Bigarray.Array1.dim data in
             let u, offs = eval_steps steps rt m in
             let out = Array.make rt.c.Interp.n 0.0 in
             Array.iter
@@ -537,7 +537,7 @@ and comp_load st env arr idxs : cexpr =
                 let o = offs.(l) + u in
                 if o < 0 || o >= len then
                   Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
-                out.(l) <- data.(o))
+                out.(l) <- data.{o})
               m;
             let base = g.Devmem.base in
             Interp.account_global rt.c ~is_store:false ~elt_bytes:4 m (fun l ->
@@ -632,7 +632,7 @@ and comp_vload st env arr width idx : cexpr =
         inst rt;
         let g = rt.globals.(gslot) in
         let data = g.Devmem.data in
-        let len = Array.length data in
+        let len = Bigarray.Array1.dim data in
         let iv = fidx rt m in
         let comp k =
           let out = Array.make rt.c.Interp.n 0.0 in
@@ -642,7 +642,7 @@ and comp_vload st env arr width idx : cexpr =
               if o < 0 || o >= len then
                 Interp.err "out-of-bounds vector load %s[%d] (size %d)" name o
                   len;
-              out.(l) <- data.(o))
+              out.(l) <- data.{o})
             m;
           out
         in
@@ -1217,7 +1217,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : cstmt =
             let comps = comps_of rt m in
             let g = rt.globals.(gslot) in
             let data = g.Devmem.data in
-            let len = Array.length data in
+            let len = Bigarray.Array1.dim data in
             Array.iter
               (fun l ->
                 let i0 = iread iv l * v_width in
@@ -1226,7 +1226,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : cstmt =
                   if o < 0 || o >= len then
                     Interp.err "out-of-bounds vector store %s[%d] (size %d)"
                       name o len;
-                  data.(o) <- comps.(q).(l)
+                  data.{o} <- comps.(q).(l)
                 done)
               m;
             let base = g.Devmem.base in
@@ -1244,11 +1244,11 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : cstmt =
               let g = src rt m in
               let ga = rt.globals.(gslot) in
               let data = ga.Devmem.data in
-              let len = Array.length data in
+              let len = Bigarray.Array1.dim data in
               let o = eval_usteps steps rt m in
               if o < 0 || o >= len then
                 Interp.err "out-of-bounds store %s[%d] (size %d)" name o len;
-              Array.iter (fun l -> data.(o) <- fread g l) m;
+              Array.iter (fun l -> data.{o} <- fread g l) m;
               let addr = ga.Devmem.base + (o * 4) in
               Interp.account_global rt.c ~is_store:true ~elt_bytes:4 m
                 (fun _ -> addr)
@@ -1258,7 +1258,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : cstmt =
               let g = src rt m in
               let ga = rt.globals.(gslot) in
               let data = ga.Devmem.data in
-              let len = Array.length data in
+              let len = Bigarray.Array1.dim data in
               let u, offs = eval_steps steps rt m in
               Array.iter
                 (fun l ->
@@ -1266,7 +1266,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : cstmt =
                   if o < 0 || o >= len then
                     Interp.err "out-of-bounds store %s[%d] (size %d)" name o
                       len;
-                  data.(o) <- fread g l)
+                  data.{o} <- fread g l)
                 m;
               let base = ga.Devmem.base in
               Interp.account_global rt.c ~is_store:true ~elt_bytes:4 m

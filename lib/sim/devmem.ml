@@ -9,11 +9,20 @@
 
 open Gpcc_analysis
 
+type fmem = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Float64, not float32: OCaml [float] is 64-bit, and a float32 plane
+   would round on every store — the backends must stay bit-identical. *)
+let falloc (n : int) : fmem =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max 1 n) in
+  Bigarray.Array1.fill a 0.0;
+  a
+
 type arr = {
   lay : Layout.t;
   base : int;  (** byte address of element 0 *)
   strides : int array;  (** padded strides, precomputed from [lay] *)
-  data : float array;  (** padded storage, row-major over pitches *)
+  data : fmem;  (** padded storage, row-major over pitches *)
 }
 
 type t = {
@@ -32,7 +41,7 @@ let alloc (t : t) (lay : Layout.t) : arr =
       lay;
       base;
       strides = Array.of_list (Layout.strides lay);
-      data = Array.make (max 1 (Layout.size_elems lay)) 0.0;
+      data = falloc (Layout.size_elems lay);
     }
   in
   t.next_base <- base + Layout.size_bytes lay;
@@ -86,7 +95,7 @@ let write (t : t) name (values : float array) : unit =
          logical_size (Array.length values));
   let i = ref 0 in
   iter_logical a.lay (fun idx ->
-      a.data.(offset a idx) <- values.(!i);
+      a.data.{offset a idx} <- values.(!i);
       incr i)
 
 (** Read the logical row-major contents out of the padded storage. *)
@@ -96,7 +105,7 @@ let read (t : t) name : float array =
   let out = Array.make logical_size 0.0 in
   let i = ref 0 in
   iter_logical a.lay (fun idx ->
-      out.(!i) <- a.data.(offset a idx);
+      out.(!i) <- a.data.{offset a idx};
       incr i);
   out
 

@@ -2,11 +2,18 @@
     partition-width-aligned array bases and padded row pitches, shared
     with the static analysis through {!Gpcc_analysis.Layout}. *)
 
+type fmem = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Flat Float64 storage — one plane of lane-contiguous values. OCaml
+    [float] is 64-bit, so Float64 keeps every backend bit-identical. *)
+
+val falloc : int -> fmem
+(** A zero-filled plane of [max 1 n] elements. *)
+
 type arr = {
   lay : Gpcc_analysis.Layout.t;
   base : int;  (** byte address of element 0, 256-byte aligned *)
   strides : int array;  (** padded strides, precomputed from [lay] *)
-  data : float array;  (** padded storage, row-major over pitches *)
+  data : fmem;  (** padded storage, row-major over pitches *)
 }
 
 type t

@@ -574,14 +574,14 @@ and eval_load (c : bctx) (mask : int array) arr idxs : vals =
         err "rank mismatch accessing %s" arr;
       let offs = flat_offsets c mask strides idxs in
       let data = g.Devmem.data in
-      let len = Array.length data in
+      let len = Bigarray.Array1.dim data in
       let out = Array.make c.n 0.0 in
       Array.iter
         (fun l ->
           let o = offs.(l) in
           if o < 0 || o >= len then
             err "out-of-bounds load %s[%d] (size %d)" arr o len;
-          out.(l) <- data.(o))
+          out.(l) <- data.{o})
         mask;
       account_global c ~is_store:false ~elt_bytes:4 mask (fun l ->
           g.Devmem.base + (offs.(l) * 4));
@@ -611,12 +611,12 @@ and eval_vload (c : bctx) (mask : int array) arr width idx : vals =
   | Eglobal g ->
       let iv = as_int c (eval c mask idx) in
       let data = g.Devmem.data in
-      let len = Array.length data in
+      let len = Bigarray.Array1.dim data in
       let get l k =
         let o = (iv.(l) * width) + k in
         if o < 0 || o >= len then
           err "out-of-bounds vector load %s[%d] (size %d)" arr o len;
-        data.(o)
+        data.{o}
       in
       let comp k =
         let out = Array.make c.n 0.0 in
@@ -841,7 +841,7 @@ and exec_assign (c : bctx) mask (lv : Ast.lvalue) (e : Ast.expr) : unit =
       match lookup c v_arr with
       | Eglobal g ->
           let data = g.Devmem.data in
-          let len = Array.length data in
+          let len = Bigarray.Array1.dim data in
           let comps =
             match eval c mask e with
             | VF2 (x, y) when v_width = 2 -> [| x; y |]
@@ -855,7 +855,7 @@ and exec_assign (c : bctx) mask (lv : Ast.lvalue) (e : Ast.expr) : unit =
                 if o < 0 || o >= len then
                   err "out-of-bounds vector store %s[%d] (size %d)" v_arr o
                     len;
-                data.(o) <- comps.(q).(l)
+                data.{o} <- comps.(q).(l)
               done)
             mask;
           account_global c ~is_store:true ~elt_bytes:(4 * v_width) mask
@@ -869,13 +869,13 @@ and exec_assign (c : bctx) mask (lv : Ast.lvalue) (e : Ast.expr) : unit =
           let strides = Layout.strides g.Devmem.lay in
           let offs = flat_offsets c mask strides idxs in
           let data = g.Devmem.data in
-          let len = Array.length data in
+          let len = Bigarray.Array1.dim data in
           Array.iter
             (fun l ->
               let o = offs.(l) in
               if o < 0 || o >= len then
                 err "out-of-bounds store %s[%d] (size %d)" arr o len;
-              data.(o) <- src.(l))
+              data.{o} <- src.(l))
             mask;
           account_global c ~is_store:true ~elt_bytes:4 mask (fun l ->
               g.Devmem.base + (offs.(l) * 4))

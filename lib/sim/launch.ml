@@ -122,21 +122,32 @@ let block_coords (launch : Ast.launch) (linear : int) =
 type backend =
   | Reference  (** tree-walking {!Interp}; supports GPCC_CHECK *)
   | Compiled  (** closure-compiled {!Compile}; falls back to reference *)
+  | Vector
+      (** warp-vectorized {!Vector} on flat planes; falls back to
+          compiled, then reference *)
 
 let backend_name = function
   | Reference -> "reference"
   | Compiled -> "compiled"
+  | Vector -> "vector"
 
-(** Backend selected by the [GPCC_INTERP] environment variable:
-    [ref]/[reference] selects the tree-walking interpreter, anything
-    else (including unset) the compiled backend. *)
+(** Backend selected by the environment: [GPCC_BACKEND] is
+    [vector]/[vec], [compiled], or [ref]/[reference]; the older
+    [GPCC_INTERP=ref] spelling still forces the reference backend.
+    Unset (or unrecognized) selects the vector backend. *)
 let backend_of_env () =
-  match Sys.getenv_opt "GPCC_INTERP" with
+  match Sys.getenv_opt "GPCC_BACKEND" with
+  | Some ("vector" | "vec") -> Vector
+  | Some ("compiled" | "compile") -> Compiled
   | Some ("ref" | "reference") -> Reference
-  | _ -> Compiled
+  | _ -> (
+      match Sys.getenv_opt "GPCC_INTERP" with
+      | Some ("ref" | "reference") -> Reference
+      | Some _ -> Compiled
+      | None -> Vector)
 
-(** Per-block execution state of either backend. *)
-type bstate = Bref of Interp.bctx | Bcomp of Compile.rt
+(** Per-block execution state of any backend. *)
+type bstate = Bref of Interp.bctx | Bcomp of Compile.rt | Bvec of Vector.vrt
 
 (* --- execution pool ---
 
@@ -238,38 +249,58 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
     else match backend with Some b -> b | None -> backend_of_env ()
   in
   let jobs = if check then Some 1 else jobs in
-  let prep =
+  (* fallback chain: vector -> compiled -> reference; each backend
+     notes its own fallback so the counters attribute unsupported
+     shapes to the backend that rejected them *)
+  let vprep =
     match backend with
-    | Reference -> None
-    | Compiled -> (
-        match Compile.compile k launch with
+    | Reference | Compiled -> None
+    | Vector -> (
+        match Vector.compile k launch with
         | Ok code -> (
-            try Some (Compile.prepare code mem)
-            with Compile.Unsupported _ ->
-              Compile.note_fallback ();
+            try Some (Vector.prepare code mem)
+            with Vector.Unsupported _ ->
+              Vector.note_fallback ();
               None)
         | Error _ ->
+            Vector.note_fallback ();
+            None)
+  in
+  let prep =
+    if backend = Reference || vprep <> None then None
+    else
+      match Compile.compile k launch with
+      | Ok code -> (
+          try Some (Compile.prepare code mem)
+          with Compile.Unsupported _ ->
             Compile.note_fallback ();
             None)
+      | Error _ ->
+          Compile.note_fallback ();
+          None
   in
   let phases_arr = Array.of_list phases in
   let nph = Array.length phases_arr in
   let make_block ~record_tx lstats ~bidx ~bidy =
-    match prep with
-    | Some p -> Bcomp (Compile.make_block p cfg lstats ~record_tx ~bidx ~bidy)
-    | None ->
+    match (vprep, prep) with
+    | Some p, _ -> Bvec (Vector.make_block p cfg lstats ~record_tx ~bidx ~bidy)
+    | None, Some p ->
+        Bcomp (Compile.make_block p cfg lstats ~record_tx ~bidx ~bidy)
+    | None, None ->
         Bref
           (Interp.make_bctx ~record_tx ~check cfg lstats k launch mem ~bidx
              ~bidy)
   in
   let exec_phase b p =
     match b with
+    | Bvec rt -> Vector.run_phase (Option.get vprep) rt p
     | Bcomp rt -> Compile.run_phase (Option.get prep) rt p
     | Bref c -> Interp.run_block c phases_arr.(p)
   in
   let tx_stream b =
     let l =
       match b with
+      | Bvec rt -> rt.Vector.c.Interp.txparts
       | Bcomp rt -> rt.Compile.c.Interp.txparts
       | Bref c -> c.Interp.txparts
     in
@@ -294,53 +325,99 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
         (* per-block statistics merged in block order at the end, so the
            parallel interleaving cannot perturb the totals *)
         let bstats = Array.init nrun (fun _ -> Stats.create ()) in
-        (* create block state upfront so thread state persists across
-           global-sync phases *)
-        let blocks =
-          Array.init nrun (fun j ->
+        let chunks_of pool =
+          match pool with
+          | None -> [ (0, nrun - 1) ]
+          | Some pool ->
+              let nw = max 1 (Pool.size pool) in
+              let nchunks = min nrun (nw * 4) in
+              List.init nchunks (fun ci ->
+                  (ci * nrun / nchunks, ((ci + 1) * nrun / nchunks) - 1))
+        in
+        let streams_arr = Array.make (max 1 nrun) [||] in
+        if nph = 1 then
+          (* single-phase: block state need not outlive its block, so
+             each worker runs its chunk through one backend state,
+             re-initialized per block (the vector backend reuses its
+             planes in place) *)
+          let run_range (lo, hi) =
+            let prev = ref None in
+            for j = lo to hi do
               let i = ids.(j) in
               let bx, by = block_coords launch i in
-              make_block ~record_tx:in_stream.(i) bstats.(j) ~bidx:bx
-                ~bidy:by)
-        in
-        with_exec_pool ?jobs (fun pool ->
-            for p = 0 to nph - 1 do
-              (* barrier between phases: every block finishes phase [p]
-                 before any block starts phase [p+1] *)
+              let b =
+                match (vprep, !prev) with
+                | Some p, Some (Bvec rt) ->
+                    Bvec
+                      (Vector.remake_block p cfg bstats.(j)
+                         ~record_tx:in_stream.(i) ~bidx:bx ~bidy:by rt)
+                | _ ->
+                    make_block ~record_tx:in_stream.(i) bstats.(j) ~bidx:bx
+                      ~bidy:by
+              in
+              prev := Some b;
+              exec_phase b 0;
+              if in_stream.(i) then streams_arr.(j) <- tx_stream b
+            done;
+            (* the chunk's last block state goes back to the reuse pool
+               for the next run of the same code *)
+            match (vprep, !prev) with
+            | Some p, Some (Bvec rt) -> Vector.retire p rt
+            | _ -> ()
+          in
+          with_exec_pool ?jobs (fun pool ->
+              (* contiguous chunks in index order ([ids] is ascending):
+                 Pool.map re-raises the earliest failing chunk, whose
+                 first failure is the globally lowest failing block,
+                 like serial *)
               match pool with
-              | None -> Array.iter (fun b -> exec_phase b p) blocks
-              | Some pool ->
-                  let nw = max 1 (Pool.size pool) in
-                  let nchunks = min nrun (nw * 4) in
-                  let chunks =
-                    List.init nchunks (fun ci ->
-                        (ci * nrun / nchunks,
-                         ((ci + 1) * nrun / nchunks) - 1))
-                  in
-                  (* contiguous chunks in index order ([ids] is
-                     ascending): Pool.map re-raises the earliest failing
-                     chunk, whose first failure is the globally lowest
-                     failing block, like serial *)
-                  ignore
-                    (Pool.map pool
-                       (fun (lo, hi) ->
-                         for i = lo to hi do
-                           exec_phase blocks.(i) p
-                         done)
-                       chunks)
-            done);
+              | None -> run_range (0, nrun - 1)
+              | Some p -> ignore (Pool.map p run_range (chunks_of pool)))
+        else begin
+          (* create block state upfront so thread state persists across
+             global-sync phases *)
+          let blocks =
+            Array.init nrun (fun j ->
+                let i = ids.(j) in
+                let bx, by = block_coords launch i in
+                make_block ~record_tx:in_stream.(i) bstats.(j) ~bidx:bx
+                  ~bidy:by)
+          in
+          with_exec_pool ?jobs (fun pool ->
+              for p = 0 to nph - 1 do
+                (* barrier between phases: every block finishes phase [p]
+                   before any block starts phase [p+1] *)
+                match pool with
+                | None -> Array.iter (fun b -> exec_phase b p) blocks
+                | Some pool ->
+                    ignore
+                      (Pool.map pool
+                         (fun (lo, hi) ->
+                           for i = lo to hi do
+                             exec_phase blocks.(i) p
+                           done)
+                         (chunks_of (Some pool)))
+              done);
+          Array.iteri
+            (fun j b ->
+              if in_stream.(ids.(j)) then streams_arr.(j) <- tx_stream b)
+            blocks;
+          match vprep with
+          | Some p ->
+              Array.iter
+                (function Bvec rt -> Vector.retire p rt | _ -> ())
+                blocks
+          | None -> ()
+        end;
         let stats = Stats.create () in
         for j = 0 to budget - 1 do
           Stats.add stats bstats.(j)
         done;
         let streams = ref [] in
-        Array.iteri
-          (fun j b ->
-            if in_stream.(ids.(j)) then streams := tx_stream b :: !streams)
-          blocks;
-        ( Stats.scale (1.0 /. float_of_int budget) stats,
-          List.rev !streams,
-          budget )
+        for j = nrun - 1 downto 0 do
+          if in_stream.(ids.(j)) then streams := streams_arr.(j) :: !streams
+        done;
+        (Stats.scale (1.0 /. float_of_int budget) stats, !streams, budget)
     | Sampled n ->
         (* two sample sets: statistics come from blocks spread evenly over
            the whole grid (work can vary with the block id, e.g.
@@ -376,7 +453,11 @@ let run ?(mode = Full) ?(streams = 12) ?backend ?jobs ?block_budget
               raise
                 (Interp.Runtime_error
                    (Printf.sprintf "%s (block %d,%d)" m bx by)));
-          (local, count, if record then Some (tx_stream b) else None)
+          let stream = if record then Some (tx_stream b) else None in
+          (match (vprep, b) with
+          | Some p, Bvec rt -> Vector.retire p rt
+          | _ -> ());
+          (local, count, stream)
         in
         let results =
           with_exec_pool ?jobs (fun pool ->

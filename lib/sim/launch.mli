@@ -23,17 +23,21 @@ type result = {
 (** Split a kernel body at top-level [__global_sync] barriers. *)
 val phases_of_body : Gpcc_ast.Ast.block -> Gpcc_ast.Ast.block list
 
-(** Simulator backend: the closure-compiled backend ({!Compile}) is the
-    default and is bit-identical to the tree-walking reference
-    interpreter; kernels it cannot compile fall back per run. *)
+(** Simulator backend: the warp-vectorized backend ({!Vector}) is the
+    default; it and the closure-compiled backend ({!Compile}) are
+    bit-identical to the tree-walking reference interpreter. Kernels a
+    backend cannot compile fall back per run (vector -> compiled ->
+    reference). *)
 type backend =
   | Reference
   | Compiled
+  | Vector
 
 val backend_name : backend -> string
 
-(** Backend selected by [GPCC_INTERP] ([ref]/[reference] selects the
-    tree-walking interpreter; default is [Compiled]). *)
+(** Backend selected by [GPCC_BACKEND] ([vector]/[vec], [compiled], or
+    [ref]/[reference]); the older [GPCC_INTERP=ref] spelling still
+    forces the reference backend. Default is [Vector]. *)
 val backend_of_env : unit -> backend
 
 (** Cumulative wall-clock seconds spent inside {!run} since program

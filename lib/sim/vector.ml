@@ -1,0 +1,3141 @@
+(** Warp-vectorized simulator backend on flat Bigarray storage.
+
+    The compiled backend ({!Compile}) stages the AST into closures but
+    still allocates a fresh per-lane array for every expression node on
+    every execution and walks lanes through [Array.iter] closures. This
+    backend keeps the staging but replaces the value representation with
+    a structure-of-arrays register file: one {e plane} (a contiguous
+    [n]-lane row of a flat {!Devmem.fmem} / [int array]) per live value,
+    assigned at plan time by a free-list allocator, so steady-state
+    execution allocates nothing and the hot loops are dense
+    [for]-ranges over [Bigarray.Array1] storage.
+
+    Divergence is handled exactly like the other backends — masks are
+    arrays of active lane ids — but the overwhelmingly common full-block
+    mask is detected per node ([Array.length m = n]) and runs the dense
+    unmasked loop. Expressions the analysis proves block-uniform use the
+    same scalar [U*] channel as {!Compile}.
+
+    Memory accounting is the same half-warp math as
+    {!Interp.account_global}, but full-mask requests go through
+    {!Coalescer.request_cost} — a per-domain pattern-digest memo — plus
+    a per-site one-entry stride cache for the steady unit/strided case,
+    so timing stops re-forming identical transactions for every block.
+
+    Bit-identity with the reference interpreter is preserved the same
+    way {!Compile} preserves it: identical float operations on identical
+    values in identical order, identical exact-integer statistic sums,
+    and the one inexact accumulator ([cost_bytes]) fed per half-warp in
+    ascending order with the same per-half-warp byte counts. *)
+
+open Gpcc_ast
+open Gpcc_analysis
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* --- per-block runtime state --- *)
+
+type vrt = {
+  c : Interp.bctx;  (** stats, config, launch, tids, txparts *)
+  n : int;  (** threads per block (= [c.n], cached for the loops) *)
+  fp : Devmem.fmem;  (** float planes, [nf] rows of [n] lanes *)
+  ip : int array;  (** int planes; bool planes hold 0/1 *)
+  shareds : Devmem.fmem array;  (** shared arrays, one per name *)
+  globals : Devmem.arr array;  (** resolved global parameters *)
+  uregs : int array;  (** uniform int registers (loop variables) *)
+  hw_addrs : int array;  (** 16-slot scratch for half-warp addresses *)
+  site_rel : int array;  (** per access site: last (addr mod g, stride) *)
+  site_stride : int array;
+  site_ntx : int array;
+  site_bytes : int array;
+  site_txs : int array array;
+      (** per site: cached transaction layout for the partition stream,
+          [off; bytes] pairs relative to the first lane address ([[||]]
+          when the entry was filled by a non-recording run) *)
+  site_sh_stride : int array;  (** per shared site: last word stride *)
+  site_sh_cost : int array;
+  sh_counts : int array;  (** per-bank scratch, [cfg.shared_banks] slots *)
+  tx_buf : int array;
+      (** [addr; bytes] pairs of the last {!record_group}, 32 slots *)
+  seg_s : int array;  (** 16-slot segment-formation scratch *)
+  seg_lo : int array;
+  seg_hi : int array;
+  mutable site_hits : int;  (** stride-cache hits, flushed per phase *)
+}
+
+let inst rt = Interp.inst rt.c
+let flops rt k = Interp.flops rt.c k
+
+(* typed wrappers so the bigarray/array primitives specialize to direct
+   unboxed loads and stores (a bare alias of the polymorphic external
+   eta-expands into the generic C call, which would dominate the hot
+   loops) *)
+let[@inline] fget (a : Devmem.fmem) (i : int) : float =
+  Bigarray.Array1.unsafe_get a i
+
+let[@inline] fset (a : Devmem.fmem) (i : int) (v : float) : unit =
+  Bigarray.Array1.unsafe_set a i v
+
+let[@inline] iget (a : int array) (i : int) : int = Array.unsafe_get a i
+
+let[@inline] iset (a : int array) (i : int) (v : int) : unit =
+  Array.unsafe_set a i v
+
+(* --- memory accounting ---
+
+   Same per-half-warp math and emission order as the reference; on the
+   full block mask the half warps are exactly the contiguous 16-lane
+   groups with lane0 = 0, so (transactions, bytes) come from the
+   memoized {!Coalescer.request_cost}, fronted by a per-site one-entry
+   cache keyed by (first address mod granularity, stride) — constant
+   across half warps and blocks for the steady strided patterns that
+   dominate real kernels. Partition-stream recording ([record_tx])
+   needs absolute transaction addresses, which are not shift-invariant;
+   but the transaction *offsets* from the first lane address are, so
+   the site cache also holds the layout and recording replays it
+   against the current base. Partial masks fall back to
+   {!Interp.account_global}. *)
+
+let width_eff (cfg : Config.t) ~(elt_bytes : int) =
+  if elt_bytes >= 16 then cfg.Config.bw_efficiency_16b
+  else if elt_bytes >= 8 then cfg.Config.bw_efficiency_8b
+  else 1.0
+
+let apply_hw (c : Interp.bctx) ~(is_store : bool) ~(weff : float) ntx bytes =
+  let s = c.Interp.stats in
+  let ntx = float_of_int ntx and bytes = float_of_int bytes in
+  s.Stats.cost_bytes <- s.Stats.cost_bytes +. (bytes /. weff);
+  if is_store then begin
+    s.Stats.gst_tx <- s.Stats.gst_tx +. ntx;
+    s.Stats.gst_bytes <- s.Stats.gst_bytes +. bytes;
+    s.Stats.gst_requests <- s.Stats.gst_requests +. 1.
+  end
+  else begin
+    s.Stats.gld_tx <- s.Stats.gld_tx +. ntx;
+    s.Stats.gld_bytes <- s.Stats.gld_bytes +. bytes;
+    s.Stats.gld_requests <- s.Stats.gld_requests +. 1.
+  end
+
+(** Granularity below which the coalescing rules inspect addresses; see
+    the memo note in {!Coalescer}. *)
+let memo_granularity ~(min_tx : int) ~(elt_bytes : int) =
+  let s = max 32 (16 * elt_bytes) in
+  if s mod min_tx = 0 then s else s * min_tx
+
+(** Record one transaction's memory partition into the block's stream. *)
+let[@inline] record_part (c : Interp.bctx) (tx_addr : int) : unit =
+  let cfg = c.Interp.cfg in
+  let p = tx_addr / cfg.Config.partition_bytes mod cfg.Config.num_partitions in
+  c.Interp.txparts <- p :: c.Interp.txparts
+
+(** Form and record the transactions of one gathered half warp, written
+    into [rt.tx_buf] as [addr; bytes] pairs (recording needs the
+    absolute addresses, so the shift-invariant
+    {!Coalescer.request_cost} memo cannot serve it). Same math and
+    first-touch emission order as {!Interp.account_global}'s fast path;
+    lane 0 of the group is always thread 0 of its half warp here
+    because full-mask groups start at multiples of 16. *)
+let record_group (rt : vrt) ~(elt_bytes : int) (addrs : int array) (cnt : int)
+    : int * int =
+  let c = rt.c in
+  let cfg = c.Interp.cfg in
+  let buf = rt.tx_buf in
+  let ntx = ref 0 and bytes = ref 0 in
+  let emit a b =
+    buf.(2 * !ntx) <- a;
+    buf.((2 * !ntx) + 1) <- b;
+    incr ntx;
+    bytes := !bytes + b;
+    record_part c a
+  in
+  let seg_bytes = 16 * elt_bytes in
+  (match cfg.Config.coalesce_rules with
+  | Config.Strict_g80 ->
+      let base = addrs.(0) in
+      let ok = ref (base mod seg_bytes = 0) in
+      if !ok then
+        for t = 0 to cnt - 1 do
+          if addrs.(t) <> base + (t * elt_bytes) then ok := false
+        done;
+      if !ok then emit base seg_bytes
+      else begin
+        let min_tx = cfg.Config.min_transaction_bytes in
+        for t = 0 to cnt - 1 do
+          emit (addrs.(t) / min_tx * min_tx) min_tx
+        done
+      end
+  | Config.Relaxed_gt200 ->
+      let seg = if seg_bytes > 32 then seg_bytes else 32 in
+      let seg_s = rt.seg_s and seg_lo = rt.seg_lo and seg_hi = rt.seg_hi in
+      let nsegs = ref 0 in
+      for t = 0 to cnt - 1 do
+        let a = addrs.(t) in
+        let s = a / seg * seg in
+        let q = ref 0 in
+        while !q < !nsegs && seg_s.(!q) <> s do
+          incr q
+        done;
+        if !q < !nsegs then begin
+          if a < seg_lo.(!q) then seg_lo.(!q) <- a;
+          if a + elt_bytes > seg_hi.(!q) then seg_hi.(!q) <- a + elt_bytes
+        end
+        else begin
+          seg_s.(!nsegs) <- s;
+          seg_lo.(!nsegs) <- a;
+          seg_hi.(!nsegs) <- a + elt_bytes;
+          incr nsegs
+        end
+      done;
+      for q = 0 to !nsegs - 1 do
+        (* shrink to the smallest aligned power-of-two >= 32B *)
+        let lo = seg_lo.(q) and hi' = seg_hi.(q) - 1 in
+        let size = ref seg in
+        let continue = ref true in
+        while !continue do
+          let half = !size / 2 in
+          if half >= 32 && lo / half = hi' / half then size := half
+          else continue := false
+        done;
+        emit (lo / !size * !size) !size
+      done);
+  (!ntx, !bytes)
+
+(** Account one half-warp group of a partial mask whose lane addresses
+    are already gathered in [rt.hw_addrs.(0..cnt-1)]: the same
+    per-group math as {!Interp.account_global}'s fast path (vector
+    masks are ascending by construction), on block scratch instead of
+    per-call arrays. [m.(i..i+cnt-1)] are the group's lane ids. *)
+let masked_group (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
+    ~(weff : float) (m : int array) ~(i : int) ~(cnt : int) : unit =
+  let c = rt.c in
+  let cfg = c.Interp.cfg in
+  let addrs = rt.hw_addrs in
+  let record = c.Interp.record_tx in
+  let ntx = ref 0 and bytes = ref 0 in
+  let emit a b =
+    incr ntx;
+    bytes := !bytes + b;
+    if record then record_part c a
+  in
+  let seg_bytes = 16 * elt_bytes in
+  (match cfg.Config.coalesce_rules with
+  | Config.Strict_g80 ->
+      let lane0 = m.(i) mod 16 in
+      let base = addrs.(0) - (lane0 * elt_bytes) in
+      let ok = ref (base mod seg_bytes = 0) in
+      if !ok then
+        for t = 0 to cnt - 1 do
+          if addrs.(t) <> base + (m.(i + t) mod 16 * elt_bytes) then ok := false
+        done;
+      if !ok then emit base seg_bytes
+      else begin
+        let min_tx = cfg.Config.min_transaction_bytes in
+        for t = 0 to cnt - 1 do
+          emit (addrs.(t) / min_tx * min_tx) min_tx
+        done
+      end
+  | Config.Relaxed_gt200 ->
+      let seg = if seg_bytes > 32 then seg_bytes else 32 in
+      let seg_s = rt.seg_s and seg_lo = rt.seg_lo and seg_hi = rt.seg_hi in
+      let nsegs = ref 0 in
+      for t = 0 to cnt - 1 do
+        let a = addrs.(t) in
+        let s = a / seg * seg in
+        let q = ref 0 in
+        while !q < !nsegs && seg_s.(!q) <> s do
+          incr q
+        done;
+        if !q < !nsegs then begin
+          if a < seg_lo.(!q) then seg_lo.(!q) <- a;
+          if a + elt_bytes > seg_hi.(!q) then seg_hi.(!q) <- a + elt_bytes
+        end
+        else begin
+          seg_s.(!nsegs) <- s;
+          seg_lo.(!nsegs) <- a;
+          seg_hi.(!nsegs) <- a + elt_bytes;
+          incr nsegs
+        end
+      done;
+      for q = 0 to !nsegs - 1 do
+        let lo = seg_lo.(q) and hi' = seg_hi.(q) - 1 in
+        let size = ref seg in
+        let continue = ref true in
+        while !continue do
+          let half = !size / 2 in
+          if half >= 32 && lo / half = hi' / half then size := half
+          else continue := false
+        done;
+        emit (lo / !size * !size) !size
+      done);
+  apply_hw c ~is_store ~weff !ntx !bytes
+
+(** Account one global access whose lane byte address is
+    [base + ip.(po + l) * scale]. *)
+let account_plane (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
+    (m : int array) ~(po : int) ~(base : int) ~(scale : int) ~(site : int) :
+    unit =
+  let c = rt.c in
+  let ip = rt.ip in
+  if Array.length m <> rt.n then begin
+    let nm = Array.length m in
+    let cfg = c.Interp.cfg in
+    let weff = width_eff cfg ~elt_bytes in
+    let addrs = rt.hw_addrs in
+    let i = ref 0 in
+    while !i < nm do
+      let hw = m.(!i) / 16 in
+      let j = ref (!i + 1) in
+      while !j < nm && m.(!j) / 16 = hw do
+        incr j
+      done;
+      let cnt = !j - !i in
+      for t = 0 to cnt - 1 do
+        addrs.(t) <- base + (iget ip (po + m.(!i + t)) * scale)
+      done;
+      masked_group rt ~is_store ~elt_bytes ~weff m ~i:!i ~cnt;
+      i := !j
+    done
+  end
+  else begin
+    let cfg = c.Interp.cfg in
+    let rules = cfg.Config.coalesce_rules in
+    let min_tx = cfg.Config.min_transaction_bytes in
+    let weff = width_eff cfg ~elt_bytes in
+    let g = memo_granularity ~min_tx ~elt_bytes in
+    let record = c.Interp.record_tx in
+    let n = rt.n in
+    let addrs = rt.hw_addrs in
+    let i = ref 0 in
+    while !i < n do
+      let cnt = if n - !i < 16 then n - !i else 16 in
+      let a0 = base + (iget ip (po + !i) * scale) in
+      addrs.(0) <- a0;
+      let stride = ref 0 in
+      let strided = ref true in
+      for t = 1 to cnt - 1 do
+        let a = base + (iget ip (po + !i + t) * scale) in
+        addrs.(t) <- a;
+        let d = a - addrs.(t - 1) in
+        if t = 1 then stride := d else if d <> !stride then strided := false
+      done;
+      let cacheable = cnt = 16 && !strided in
+      let rel0 = if cacheable then a0 mod g else 0 in
+      let hit =
+        cacheable
+        && rt.site_rel.(site) = rel0
+        && rt.site_stride.(site) = !stride
+        && ((not record) || Array.length rt.site_txs.(site) > 0)
+      in
+      let ntx, bytes =
+        if hit then begin
+          rt.site_hits <- rt.site_hits + 1;
+          if record then begin
+            let lay = rt.site_txs.(site) in
+            let q = ref 0 in
+            let nn = Array.length lay in
+            while !q < nn do
+              record_part c (a0 + lay.(!q));
+              q := !q + 2
+            done
+          end;
+          (rt.site_ntx.(site), rt.site_bytes.(site))
+        end
+        else if record then begin
+          let ntx, bytes = record_group rt ~elt_bytes addrs cnt in
+          if cacheable then begin
+            let lay = Array.make (2 * ntx) 0 in
+            for qi = 0 to ntx - 1 do
+              lay.(2 * qi) <- rt.tx_buf.(2 * qi) - a0;
+              lay.((2 * qi) + 1) <- rt.tx_buf.((2 * qi) + 1)
+            done;
+            rt.site_rel.(site) <- rel0;
+            rt.site_stride.(site) <- !stride;
+            rt.site_ntx.(site) <- ntx;
+            rt.site_bytes.(site) <- bytes;
+            rt.site_txs.(site) <- lay
+          end;
+          (ntx, bytes)
+        end
+        else begin
+          let ntx, bytes =
+            Coalescer.request_cost rules ~min_tx ~elt_bytes ~lane0:0 ~cnt
+              addrs
+          in
+          if cacheable then begin
+            rt.site_rel.(site) <- rel0;
+            rt.site_stride.(site) <- !stride;
+            rt.site_ntx.(site) <- ntx;
+            rt.site_bytes.(site) <- bytes;
+            rt.site_txs.(site) <- [||]
+          end;
+          (ntx, bytes)
+        end
+      in
+      apply_hw c ~is_store ~weff ntx bytes;
+      i := !i + 16
+    done
+  end
+
+(** Account one global access where every active lane touches [addr]
+    (block-uniform index). *)
+let account_const (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
+    (m : int array) ~(addr : int) : unit =
+  let c = rt.c in
+  if Array.length m <> rt.n then begin
+    let nm = Array.length m in
+    let cfg = c.Interp.cfg in
+    let weff = width_eff cfg ~elt_bytes in
+    let i = ref 0 in
+    while !i < nm do
+      let hw = m.(!i) / 16 in
+      let j = ref (!i + 1) in
+      while !j < nm && m.(!j) / 16 = hw do
+        incr j
+      done;
+      let cnt = !j - !i in
+      Array.fill rt.hw_addrs 0 cnt addr;
+      masked_group rt ~is_store ~elt_bytes ~weff m ~i:!i ~cnt;
+      i := !j
+    done
+  end
+  else begin
+    let cfg = c.Interp.cfg in
+    let rules = cfg.Config.coalesce_rules in
+    let min_tx = cfg.Config.min_transaction_bytes in
+    let weff = width_eff cfg ~elt_bytes in
+    let record = c.Interp.record_tx in
+    let n = rt.n in
+    Array.fill rt.hw_addrs 0 16 addr;
+    let nfull = n / 16 and tail = n mod 16 in
+    (* every full group forms the same transactions: compute once *)
+    if nfull > 0 then
+      if record then begin
+        let ntx, bytes = record_group rt ~elt_bytes rt.hw_addrs 16 in
+        apply_hw c ~is_store ~weff ntx bytes;
+        for _ = 2 to nfull do
+          for q = 0 to ntx - 1 do
+            record_part c rt.tx_buf.(2 * q)
+          done;
+          apply_hw c ~is_store ~weff ntx bytes
+        done
+      end
+      else begin
+        let ntx, bytes =
+          Coalescer.request_cost rules ~min_tx ~elt_bytes ~lane0:0 ~cnt:16
+            rt.hw_addrs
+        in
+        for _ = 1 to nfull do
+          apply_hw c ~is_store ~weff ntx bytes
+        done
+      end;
+    if tail > 0 then
+      if record then begin
+        let ntx, bytes = record_group rt ~elt_bytes rt.hw_addrs tail in
+        apply_hw c ~is_store ~weff ntx bytes
+      end
+      else begin
+        let ntx, bytes =
+          Coalescer.request_cost rules ~min_tx ~elt_bytes ~lane0:0 ~cnt:tail
+            rt.hw_addrs
+        in
+        apply_hw c ~is_store ~weff ntx bytes
+      end
+  end
+
+(* Shared-memory serialization cost of a strided half warp is invariant
+   under any uniform word shift: banks rotate together and the
+   same-address broadcast test depends only on word differences. So a
+   one-entry per-site cache keyed by the stride alone is exact for the
+   steady patterns, like the global-site cache above. *)
+
+let[@inline] shared_group_cost (rt : vrt) (cnt : int) : int =
+  let banks = rt.c.Interp.cfg.Config.shared_banks in
+  let words = rt.hw_addrs in
+  let counts = rt.sh_counts in
+  Array.fill counts 0 banks 0;
+  for t = 0 to cnt - 1 do
+    let w = iget words t in
+    (* same-address lanes broadcast for free *)
+    let dup = ref false in
+    for t' = 0 to t - 1 do
+      if iget words t' = w then dup := true
+    done;
+    if not !dup then begin
+      let b = ((w mod banks) + banks) mod banks in
+      counts.(b) <- counts.(b) + 1
+    end
+  done;
+  Array.fold_left max 1 counts
+
+let[@inline] apply_shared (c : Interp.bctx) (cost : int) : unit =
+  let s = c.Interp.stats in
+  s.Stats.shared_ops <- s.Stats.shared_ops +. 1.;
+  if cost > 1 then
+    s.Stats.bank_extra <- s.Stats.bank_extra +. float_of_int (cost - 1)
+
+(** Account one shared access whose lane word address is
+    [ip.(po + l) * scale + u]. *)
+let account_shared_plane (rt : vrt) (m : int array) ~(po : int) ~(scale : int)
+    ~(u : int) ~(site : int) : unit =
+  let c = rt.c in
+  let ip = rt.ip in
+  if Array.length m <> rt.n then begin
+    let nm = Array.length m in
+    let words = rt.hw_addrs in
+    let i = ref 0 in
+    while !i < nm do
+      let hw = m.(!i) / 16 in
+      let j = ref (!i + 1) in
+      while !j < nm && m.(!j) / 16 = hw do
+        incr j
+      done;
+      let cnt = !j - !i in
+      for t = 0 to cnt - 1 do
+        iset words t ((iget ip (po + m.(!i + t)) * scale) + u)
+      done;
+      apply_shared c (shared_group_cost rt cnt);
+      i := !j
+    done
+  end
+  else begin
+    let n = rt.n in
+    let words = rt.hw_addrs in
+    let i = ref 0 in
+    while !i < n do
+      let cnt = if n - !i < 16 then n - !i else 16 in
+      let w0 = (iget ip (po + !i) * scale) + u in
+      iset words 0 w0;
+      let stride = ref 0 in
+      let strided = ref true in
+      for t = 1 to cnt - 1 do
+        let w = (iget ip (po + !i + t) * scale) + u in
+        iset words t w;
+        let d = w - iget words (t - 1) in
+        if t = 1 then stride := d else if d <> !stride then strided := false
+      done;
+      let cost =
+        if cnt = 16 && !strided then
+          if rt.site_sh_stride.(site) = !stride then rt.site_sh_cost.(site)
+          else begin
+            let cost = shared_group_cost rt cnt in
+            rt.site_sh_stride.(site) <- !stride;
+            rt.site_sh_cost.(site) <- cost;
+            cost
+          end
+        else shared_group_cost rt cnt
+      in
+      apply_shared c cost;
+      i := !i + 16
+    done
+  end
+
+(** Account one shared access where every active lane reads one word
+    (block-uniform index): each half warp is a free broadcast. *)
+let account_shared_const (rt : vrt) (m : int array) ~(addr : int) : unit =
+  ignore addr;
+  let c = rt.c in
+  if Array.length m <> rt.n then begin
+    (* every group is a one-word broadcast: cost 1, like the full-mask
+       case, but grouped by the mask's half-warp ids *)
+    let nm = Array.length m in
+    let i = ref 0 in
+    while !i < nm do
+      let hw = m.(!i) / 16 in
+      let j = ref (!i + 1) in
+      while !j < nm && m.(!j) / 16 = hw do
+        incr j
+      done;
+      apply_shared c 1;
+      i := !j
+    done
+  end
+  else
+    for _ = 1 to (rt.n + 15) / 16 do
+      apply_shared c 1
+    done
+
+(* --- compiled expressions ---
+
+   [U*] closures are the uniform scalar channel, identical in shape to
+   {!Compile}. [X*] values name a destination plane plus a [fill] that
+   computes it over the active mask; a node's fill runs its operand
+   fills first (evaluation order is source order, as in the reference)
+   and then one dense or masked loop into its own plane. *)
+
+type fill = vrt -> int array -> unit
+
+type vexpr =
+  | UI of (vrt -> int array -> int)
+  | UF of (vrt -> int array -> float)
+  | UB of (vrt -> int array -> bool)
+  | XI of int * fill  (** int plane *)
+  | XF of int * fill  (** float plane *)
+  | XB of int * fill  (** int plane constrained to 0/1 *)
+  | XF2 of (int * int) * fill
+  | XF4 of (int * int * int * int) * fill
+
+type vstmt = vrt -> int array -> unit
+
+let is_uniform = function
+  | UI _ | UF _ | UB _ -> true
+  | XI _ | XF _ | XB _ | XF2 _ | XF4 _ -> false
+
+let nofill : fill = fun _ _ -> ()
+
+(* --- plan-time plane allocator ---
+
+   Planes are assigned like registers: a node's operands are compiled
+   first (holding their result planes), the operand planes are released,
+   and the destination is allocated — it may alias an operand plane,
+   which is safe because every loop reads its operands at lane [l]
+   before writing lane [l]. Compilation order equals evaluation order,
+   so a released plane is only ever reused by code that runs after its
+   last read. Declared variables and loop counters get permanent planes
+   (never released); scoping is strict (no shadowing), as in
+   {!Compile}. *)
+
+type plane = PF of int | PI of int
+
+type ve = vexpr * plane list
+(** A compiled expression and the planes holding its result (empty when
+    the result lives in a variable's permanent plane or a scalar). *)
+
+module Smap = Map.Make (String)
+
+type binding =
+  | Bint of int
+  | Bfloat of int
+  | Bbool of int
+  | Bf2 of int * int
+  | Bf4 of int * int * int * int
+  | Bloop_u of int  (** uniform loop variable: register index *)
+  | Bloop_v of int  (** varying loop variable: int plane *)
+  | Bshared of int * int array * int  (** slot, strides, padded length *)
+  | Bglobal of int * int array * string  (** slot, expected strides, name *)
+  | Bconst of int  (** [k_sizes]-bound int parameter *)
+
+type cstate = {
+  mutable nf : int;  (** float-plane high-water mark *)
+  mutable ni : int;
+  mutable free_f : int list;
+  mutable free_i : int list;
+  mutable nuregs : int;
+  mutable nsites : int;  (** global-access sites (stride-cache entries) *)
+  mutable shared_specs : (string * Layout.t * int * int) list;
+      (** name, layout, padded length, slot *)
+  mutable global_params : (string * int array) list;  (** slot order *)
+  mutable tid_planes : (Ast.builtin * int) list;
+      (** permanent planes for tidx/tidy/idx/idy, filled per block *)
+  cn : int;  (** threads per block *)
+  claunch : Ast.launch;
+}
+
+let alloc_f st =
+  match st.free_f with
+  | p :: tl ->
+      st.free_f <- tl;
+      p
+  | [] ->
+      let p = st.nf in
+      st.nf <- p + 1;
+      p
+
+let alloc_i st =
+  match st.free_i with
+  | p :: tl ->
+      st.free_i <- tl;
+      p
+  | [] ->
+      let p = st.ni in
+      st.ni <- p + 1;
+      p
+
+let release st (own : plane list) =
+  List.iter
+    (function
+      | PF p -> st.free_f <- p :: st.free_f
+      | PI p -> st.free_i <- p :: st.free_i)
+    own
+
+let fresh_ureg st =
+  let r = st.nuregs in
+  st.nuregs <- r + 1;
+  r
+
+let fresh_site st =
+  let s = st.nsites in
+  st.nsites <- s + 1;
+  s
+
+(* --- operand views ---
+
+   Plan-time normalization of a compiled operand to the element type a
+   consumer needs: either a uniform scalar closure or a plane (with the
+   fill that produces it). Int-to-float conversion materializes through
+   a temporary plane — same values as the reference's fused
+   [float_of_int], no stats either way. *)
+
+type fopnd = FU of (vrt -> int array -> float) | FP of int * fill
+type iopnd = IU of (vrt -> int array -> int) | IP of int * fill
+type bopnd = BU of (vrt -> int array -> bool) | BP of int * fill
+
+let fopnd st ((ce, own) : ve) : fopnd * plane list =
+  match ce with
+  | UI f -> (FU (fun rt m -> float_of_int (f rt m)), own)
+  | UF f -> (FU f, own)
+  | XF (p, fill) -> (FP (p, fill), own)
+  | XI (p, fill) ->
+      let t = alloc_f st in
+      let po = p * st.cn and toff = t * st.cn in
+      let fill' rt m =
+        fill rt m;
+        let n = rt.n in
+        let ip = rt.ip and fp = rt.fp in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (toff + l) (float_of_int (iget ip (po + l)))
+          done
+        else
+          Array.iter
+            (fun l -> fset fp (toff + l) (float_of_int (iget ip (po + l))))
+            m
+      in
+      (FP (t, fill'), PF t :: own)
+  | UB _ | XB _ | XF2 _ | XF4 _ -> unsupported "expected a float value"
+
+let iopnd ((ce, own) : ve) : iopnd * plane list =
+  match ce with
+  | UI f -> (IU f, own)
+  | UB f -> (IU (fun rt m -> if f rt m then 1 else 0), own)
+  | XI (p, fill) -> (IP (p, fill), own)
+  | XB (p, fill) -> (IP (p, fill), own)  (* bool planes hold 0/1 *)
+  | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected an int value"
+
+let bopnd ((ce, own) : ve) : bopnd * plane list =
+  match ce with
+  | UB f -> (BU f, own)
+  | UI f -> (BU (fun rt m -> f rt m <> 0), own)
+  | XB (p, fill) -> (BP (p, fill), own)
+  | XI (p, fill) -> (BP (p, fill), own)  (* read as [<> 0] *)
+  | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected a boolean value"
+
+(** Evaluate an operand at its source position: run the fill (plane
+    case) or the scalar closure. Returns the scalar, or 0 for planes. *)
+let feval (o : fopnd) rt m : float =
+  match o with
+  | FU f -> f rt m
+  | FP (_, fill) ->
+      fill rt m;
+      0.0
+
+let ieval (o : iopnd) rt m : int =
+  match o with
+  | IU f -> f rt m
+  | IP (_, fill) ->
+      fill rt m;
+      0
+
+let beval (o : bopnd) rt m : bool =
+  match o with
+  | BU f -> f rt m
+  | BP (_, fill) ->
+      fill rt m;
+      false
+
+(* --- loop builders ---
+
+   Each builder mirrors one {!Compile} node shape, including the exact
+   order of [inst]/[flops]/operand evaluation around the loop — that
+   order is observable through the statistics. Dest planes may alias
+   operand planes: every loop reads lane [l] before writing lane [l]. *)
+
+let mk_fbin st ~(flops_first : bool) (fop : float -> float -> float) (ca : ve)
+    (cb : ve) : ve =
+  let fa, owna = fopnd st ca in
+  let fb, ownb = fopnd st cb in
+  release st owna;
+  release st ownb;
+  let d = alloc_f st in
+  let doff = d * st.cn in
+  let aoff = match fa with FP (p, _) -> p * st.cn | FU _ -> 0 in
+  let boff = match fb with FP (p, _) -> p * st.cn | FU _ -> 0 in
+  let fill rt m =
+    inst rt;
+    if flops_first then flops rt (Array.length m);
+    let av = feval fa rt m in
+    let bv = feval fb rt m in
+    if not flops_first then flops rt (Array.length m);
+    let n = rt.n in
+    let fp = rt.fp in
+    match (fa, fb) with
+    | FP _, FP _ ->
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (doff + l) (fop (fget fp (aoff + l)) (fget fp (boff + l)))
+          done
+        else
+          Array.iter
+            (fun l ->
+              fset fp (doff + l) (fop (fget fp (aoff + l)) (fget fp (boff + l))))
+            m
+    | FP _, FU _ ->
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (doff + l) (fop (fget fp (aoff + l)) bv)
+          done
+        else
+          Array.iter (fun l -> fset fp (doff + l) (fop (fget fp (aoff + l)) bv)) m
+    | FU _, FP _ ->
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (doff + l) (fop av (fget fp (boff + l)))
+          done
+        else
+          Array.iter (fun l -> fset fp (doff + l) (fop av (fget fp (boff + l)))) m
+    | FU _, FU _ ->
+        let v = fop av bv in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (doff + l) v
+          done
+        else Array.iter (fun l -> fset fp (doff + l) v) m
+  in
+  (XF (d, fill), [ PF d ])
+
+let mk_ibin st (iop : int -> int -> int) (ca : ve) (cb : ve) : ve =
+  let fa, owna = iopnd ca in
+  let fb, ownb = iopnd cb in
+  release st owna;
+  release st ownb;
+  let d = alloc_i st in
+  let doff = d * st.cn in
+  let aoff = match fa with IP (p, _) -> p * st.cn | IU _ -> 0 in
+  let boff = match fb with IP (p, _) -> p * st.cn | IU _ -> 0 in
+  let fill rt m =
+    inst rt;
+    let av = ieval fa rt m in
+    let bv = ieval fb rt m in
+    let n = rt.n in
+    let ip = rt.ip in
+    match (fa, fb) with
+    | IP _, IP _ ->
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) (iop (iget ip (aoff + l)) (iget ip (boff + l)))
+          done
+        else
+          Array.iter
+            (fun l ->
+              iset ip (doff + l) (iop (iget ip (aoff + l)) (iget ip (boff + l))))
+            m
+    | IP _, IU _ ->
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) (iop (iget ip (aoff + l)) bv)
+          done
+        else
+          Array.iter (fun l -> iset ip (doff + l) (iop (iget ip (aoff + l)) bv)) m
+    | IU _, IP _ ->
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) (iop av (iget ip (boff + l)))
+          done
+        else
+          Array.iter (fun l -> iset ip (doff + l) (iop av (iget ip (boff + l)))) m
+    | IU _, IU _ ->
+        let v = iop av bv in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) v
+          done
+        else Array.iter (fun l -> iset ip (doff + l) v) m
+  in
+  (XI (d, fill), [ PI d ])
+
+(* readers for the rare-node generic loops; one closure call per lane,
+   like the reference's [fread]/[iread] *)
+
+let ird st (o : iopnd) : (vrt -> int -> int -> int) * int =
+  match o with
+  | IU _ -> ((fun _ v _ -> v), 0)
+  | IP (p, _) ->
+      let po = p * st.cn in
+      ((fun rt _ l -> iget rt.ip (po + l)), po)
+
+let frd st (o : fopnd) : vrt -> float -> int -> float =
+  match o with
+  | FU _ -> fun _ v _ -> v
+  | FP (p, _) ->
+      let po = p * st.cn in
+      fun rt _ l -> fget rt.fp (po + l)
+
+let brd st (o : bopnd) : vrt -> bool -> int -> bool =
+  match o with
+  | BU _ -> fun _ v _ -> v
+  | BP (p, _) ->
+      let po = p * st.cn in
+      fun rt _ l -> iget rt.ip (po + l) <> 0
+
+let mk_icmp st (iop : int -> int -> bool) (ca : ve) (cb : ve) : ve =
+  let fa, owna = iopnd ca in
+  let fb, ownb = iopnd cb in
+  release st owna;
+  release st ownb;
+  let d = alloc_i st in
+  let doff = d * st.cn in
+  let ra, _ = ird st fa and rb, _ = ird st fb in
+  let fill rt m =
+    inst rt;
+    let av = ieval fa rt m in
+    let bv = ieval fb rt m in
+    let n = rt.n in
+    let ip = rt.ip in
+    if Array.length m = n then
+      for l = 0 to n - 1 do
+        iset ip (doff + l) (if iop (ra rt av l) (rb rt bv l) then 1 else 0)
+      done
+    else
+      Array.iter
+        (fun l ->
+          iset ip (doff + l) (if iop (ra rt av l) (rb rt bv l) then 1 else 0))
+        m
+  in
+  (XB (d, fill), [ PI d ])
+
+let mk_fcmp st (fop : float -> float -> bool) (ca : ve) (cb : ve) : ve =
+  let fa, owna = fopnd st ca in
+  let fb, ownb = fopnd st cb in
+  release st owna;
+  release st ownb;
+  let d = alloc_i st in
+  let doff = d * st.cn in
+  let ra = frd st fa and rb = frd st fb in
+  let fill rt m =
+    inst rt;
+    let av = feval fa rt m in
+    let bv = feval fb rt m in
+    let n = rt.n in
+    let ip = rt.ip in
+    if Array.length m = n then
+      for l = 0 to n - 1 do
+        iset ip (doff + l) (if fop (ra rt av l) (rb rt bv l) then 1 else 0)
+      done
+    else
+      Array.iter
+        (fun l ->
+          iset ip (doff + l) (if fop (ra rt av l) (rb rt bv l) then 1 else 0))
+        m
+  in
+  (XB (d, fill), [ PI d ])
+
+let mk_bbin st ~(disj : bool) (ca : ve) (cb : ve) : ve =
+  let fa, owna = bopnd ca in
+  let fb, ownb = bopnd cb in
+  release st owna;
+  release st ownb;
+  let d = alloc_i st in
+  let doff = d * st.cn in
+  let ra = brd st fa and rb = brd st fb in
+  let fill rt m =
+    inst rt;
+    let av = beval fa rt m in
+    let bv = beval fb rt m in
+    let n = rt.n in
+    let ip = rt.ip in
+    if disj then
+      if Array.length m = n then
+        for l = 0 to n - 1 do
+          iset ip (doff + l) (if ra rt av l || rb rt bv l then 1 else 0)
+        done
+      else
+        Array.iter
+          (fun l ->
+            iset ip (doff + l) (if ra rt av l || rb rt bv l then 1 else 0))
+          m
+    else if Array.length m = n then
+      for l = 0 to n - 1 do
+        iset ip (doff + l) (if ra rt av l && rb rt bv l then 1 else 0)
+      done
+    else
+      Array.iter
+        (fun l -> iset ip (doff + l) (if ra rt av l && rb rt bv l then 1 else 0))
+        m
+  in
+  (XB (d, fill), [ PI d ])
+
+(* uniform-channel extraction (operands already known uniform) *)
+
+let iu = function IU f -> f | IP _ -> assert false
+let fu = function FU f -> f | FP _ -> assert false
+let bu = function BU f -> f | BP _ -> assert false
+
+(* --- index steps for array accesses --- *)
+
+type ostep =
+  | OU of (vrt -> int array -> int) * int  (** uniform index, stride *)
+  | OV of int * fill * int  (** plane offset, fill, stride *)
+
+let all_uniform_steps = List.for_all (function OU _ -> true | OV _ -> false)
+
+let eval_usteps (steps : ostep list) rt m : int =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | OU (f, stride) -> acc + (f rt m * stride)
+      | OV _ -> assert false)
+    0 steps
+
+(** A compiled varying index: the element offset of lane [l] is
+    [ip.(xp_po + l) * xp_scale + u], where [u] is returned by [xp_run],
+    which also brings the plane up to date. An index varying in exactly
+    one dimension — the dominant [a[idy][k]] / [a[k][idx]] shapes — runs
+    with no scratch plane and no combine pass: gathers and accounting
+    read the dimension's own plane through the stride. Multi-plane
+    indices combine into a scratch plane in index order. *)
+type xplan = {
+  xp_po : int;
+  xp_scale : int;
+  xp_run : vrt -> int array -> int;
+}
+
+(** Plan [steps] (which must contain at least one varying step; callers
+    route all-uniform indices through {!eval_usteps}). Returns the
+    scratch planes the plan owns; the caller must allocate destination
+    planes before releasing them so gathers never read a reused plane.
+    Step evaluation stays in index order — a uniform step's closure may
+    account a nested uniform load, and byte-cost accumulation is
+    order-sensitive. *)
+let mk_xplan st (steps : ostep list) : xplan * plane list =
+  let a = Array.of_list steps in
+  let nov =
+    Array.fold_left
+      (fun k s -> match s with OV _ -> k + 1 | OU _ -> k)
+      0 a
+  in
+  let single =
+    if nov = 1 then
+      Array.fold_left
+        (fun acc s -> match s with OV (po, _, s') -> Some (po, s') | OU _ -> acc)
+        None a
+    else None
+  in
+  match single with
+  | Some (po, sc) ->
+      let run rt m =
+        let u = ref 0 in
+        Array.iter
+          (function
+            | OU (f, stride) -> u := !u + (f rt m * stride)
+            | OV (_, fl, _) -> fl rt m)
+          a;
+        !u
+      in
+      ({ xp_po = po; xp_scale = sc; xp_run = run }, [])
+  | None ->
+      let offs = alloc_i st in
+      let ooff = offs * st.cn in
+      let run rt m =
+        let n = rt.n in
+        let ip = rt.ip in
+        let u = ref 0 in
+        let first = ref true in
+        Array.iter
+          (function
+            | OU (f, stride) -> u := !u + (f rt m * stride)
+            | OV (po, fl, stride) ->
+                fl rt m;
+                if !first then begin
+                  first := false;
+                  if Array.length m = n then
+                    for l = 0 to n - 1 do
+                      iset ip (ooff + l) (iget ip (po + l) * stride)
+                    done
+                  else
+                    Array.iter
+                      (fun l -> iset ip (ooff + l) (iget ip (po + l) * stride))
+                      m
+                end
+                else if Array.length m = n then
+                  for l = 0 to n - 1 do
+                    iset ip (ooff + l)
+                      (iget ip (ooff + l) + (iget ip (po + l) * stride))
+                  done
+                else
+                  Array.iter
+                    (fun l ->
+                      iset ip (ooff + l)
+                        (iget ip (ooff + l) + (iget ip (po + l) * stride)))
+                    m)
+          a;
+        !u
+      in
+      ({ xp_po = ooff; xp_scale = 1; xp_run = run }, [ PI offs ])
+
+(* --- expression compilation --- *)
+
+let rec comp_e (st : cstate) (env : binding Smap.t) (e : Ast.expr) : ve =
+  match e with
+  | Int_lit k -> (UI (fun _ _ -> k), [])
+  | Float_lit f -> (UF (fun _ _ -> f), [])
+  | Builtin b -> comp_builtin st b
+  | Var v -> (
+      match Smap.find_opt v env with
+      | None -> unsupported "unbound variable %s" v
+      | Some (Bconst k) -> (UI (fun _ _ -> k), [])
+      | Some (Bloop_u r) -> (UI (fun rt _ -> rt.uregs.(r)), [])
+      | Some (Bloop_v p) -> (XI (p, nofill), [])
+      | Some (Bint p) -> (XI (p, nofill), [])
+      | Some (Bfloat p) -> (XF (p, nofill), [])
+      | Some (Bbool p) -> (XB (p, nofill), [])
+      | Some (Bf2 (x, y)) -> (XF2 ((x, y), nofill), [])
+      | Some (Bf4 (x, y, z, w)) -> (XF4 ((x, y, z, w), nofill), [])
+      | Some (Bshared _ | Bglobal _) -> unsupported "array %s used as scalar" v)
+  | Unop (Neg, a) -> comp_neg st env a
+  | Unop (Not, a) -> (
+      let fc, own = bopnd (comp_e st env a) in
+      match fc with
+      | BU f ->
+          release st own;
+          ( UB
+              (fun rt m ->
+                inst rt;
+                not (f rt m)),
+            [] )
+      | BP (p, fl) ->
+          release st own;
+          let d = alloc_i st in
+          let doff = d * st.cn and poff = p * st.cn in
+          let fill rt m =
+            inst rt;
+            fl rt m;
+            let n = rt.n in
+            let ip = rt.ip in
+            if Array.length m = n then
+              for l = 0 to n - 1 do
+                iset ip (doff + l) (if iget ip (poff + l) <> 0 then 0 else 1)
+              done
+            else
+              Array.iter
+                (fun l ->
+                  iset ip (doff + l) (if iget ip (poff + l) <> 0 then 0 else 1))
+                m
+          in
+          (XB (d, fill), [ PI d ]))
+  | Binop (op, a, b) -> comp_binop st env op a b
+  | Index (arr, idxs) -> comp_load st env arr idxs
+  | Vload { v_arr; v_width; v_index } -> comp_vload st env v_arr v_width v_index
+  | Field (a, f) -> comp_field st env a f
+  | Call (f, args) -> comp_call st env f args
+  | Select (cond, a, b) -> comp_select st env cond a b
+
+and comp_builtin st (b : Ast.builtin) : ve =
+  let l = st.claunch in
+  match b with
+  | Tidx | Tidy | Idx | Idy ->
+      let p =
+        match List.assoc_opt b st.tid_planes with
+        | Some p -> p
+        | None ->
+            (* permanent plane, filled at block setup — never drawn from
+               the free list (a recycled temp would be scribbled before
+               the first read) *)
+            let p = st.ni in
+            st.ni <- p + 1;
+            st.tid_planes <- st.tid_planes @ [ (b, p) ];
+            p
+      in
+      (XI (p, nofill), [])
+  | Bidx -> (UI (fun rt _ -> rt.c.Interp.bidx), [])
+  | Bidy -> (UI (fun rt _ -> rt.c.Interp.bidy), [])
+  | Bdimx ->
+      let v = l.block_x in
+      (UI (fun _ _ -> v), [])
+  | Bdimy ->
+      let v = l.block_y in
+      (UI (fun _ _ -> v), [])
+  | Gdimx ->
+      let v = l.grid_x in
+      (UI (fun _ _ -> v), [])
+  | Gdimy ->
+      let v = l.grid_y in
+      (UI (fun _ _ -> v), [])
+
+and comp_neg st env a : ve =
+  match comp_e st env a with
+  | UI f, own ->
+      release st own;
+      ( UI
+          (fun rt m ->
+            inst rt;
+            -f rt m),
+        [] )
+  | UF f, own ->
+      release st own;
+      ( UF
+          (fun rt m ->
+            inst rt;
+            let v = f rt m in
+            flops rt (Array.length m);
+            -.v),
+        [] )
+  | XI (p, fl), own ->
+      release st own;
+      let d = alloc_i st in
+      let doff = d * st.cn and poff = p * st.cn in
+      let fill rt m =
+        inst rt;
+        fl rt m;
+        let n = rt.n in
+        let ip = rt.ip in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) (-iget ip (poff + l))
+          done
+        else Array.iter (fun l -> iset ip (doff + l) (-iget ip (poff + l))) m
+      in
+      (XI (d, fill), [ PI d ])
+  | XF (p, fl), own ->
+      release st own;
+      let d = alloc_f st in
+      let doff = d * st.cn and poff = p * st.cn in
+      let fill rt m =
+        inst rt;
+        fl rt m;
+        flops rt (Array.length m);
+        let n = rt.n in
+        let fp = rt.fp in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (doff + l) (-.fget fp (poff + l))
+          done
+        else Array.iter (fun l -> fset fp (doff + l) (-.fget fp (poff + l))) m
+      in
+      (XF (d, fill), [ PF d ])
+  | XF2 ((px, py), fl), own ->
+      (* destinations before releasing the source: a destination must
+         not alias a component that a later write still has to read *)
+      let dx = alloc_f st and dy = alloc_f st in
+      release st own;
+      let cn = st.cn in
+      let fill rt m =
+        inst rt;
+        fl rt m;
+        let n = rt.n in
+        let fp = rt.fp in
+        let neg poff doff =
+          if Array.length m = n then
+            for l = 0 to n - 1 do
+              fset fp (doff + l) (-.fget fp (poff + l))
+            done
+          else Array.iter (fun l -> fset fp (doff + l) (-.fget fp (poff + l))) m
+        in
+        neg (px * cn) (dx * cn);
+        neg (py * cn) (dy * cn)
+      in
+      (XF2 ((dx, dy), fill), [ PF dx; PF dy ])
+  | XF4 ((px, py, pz, pw), fl), own ->
+      let dx = alloc_f st
+      and dy = alloc_f st
+      and dz = alloc_f st
+      and dw = alloc_f st in
+      release st own;
+      let cn = st.cn in
+      let fill rt m =
+        inst rt;
+        fl rt m;
+        let n = rt.n in
+        let fp = rt.fp in
+        let neg poff doff =
+          if Array.length m = n then
+            for l = 0 to n - 1 do
+              fset fp (doff + l) (-.fget fp (poff + l))
+            done
+          else Array.iter (fun l -> fset fp (doff + l) (-.fget fp (poff + l))) m
+        in
+        neg (px * cn) (dx * cn);
+        neg (py * cn) (dy * cn);
+        neg (pz * cn) (dz * cn);
+        neg (pw * cn) (dw * cn)
+      in
+      (XF4 ((dx, dy, dz, dw), fill), [ PF dx; PF dy; PF dz; PF dw ])
+  | (UB _ | XB _), _ -> unsupported "negation of a boolean"
+
+and comp_binop st env op a b : ve =
+  comp_binop_c st op (comp_e st env a) (comp_e st env b)
+
+and comp_binop_c st op (ca : ve) (cb : ve) : ve =
+  let bothu = is_uniform (fst ca) && is_uniform (fst cb) in
+  match op with
+  | Add | Sub | Mul | Div -> (
+      match (fst ca, fst cb) with
+      | (UI _ | XI _), (UI _ | XI _) ->
+          let iop =
+            match op with
+            | Add -> ( + )
+            | Sub -> ( - )
+            | Mul -> ( * )
+            | _ -> fun a b -> if b = 0 then Interp.err "division by zero" else a / b
+          in
+          if bothu then begin
+            let fa, owna = iopnd ca and fb, ownb = iopnd cb in
+            release st owna;
+            release st ownb;
+            let fa = iu fa and fb = iu fb in
+            ( UI
+                (fun rt m ->
+                  inst rt;
+                  let x = fa rt m in
+                  let y = fb rt m in
+                  iop x y),
+              [] )
+          end
+          else mk_ibin st iop ca cb
+      | (XF2 _ | XF4 _), _ | _, (XF2 _ | XF4 _) -> comp_vec_arith st op ca cb
+      | _ ->
+          let fop =
+            match op with
+            | Add -> ( +. )
+            | Sub -> ( -. )
+            | Mul -> ( *. )
+            | _ -> ( /. )
+          in
+          if bothu then begin
+            let fa, owna = fopnd st ca in
+            let fb, ownb = fopnd st cb in
+            release st owna;
+            release st ownb;
+            let fa = fu fa and fb = fu fb in
+            ( UF
+                (fun rt m ->
+                  inst rt;
+                  let x = fa rt m in
+                  let y = fb rt m in
+                  flops rt (Array.length m);
+                  fop x y),
+              [] )
+          end
+          else mk_fbin st ~flops_first:false fop ca cb)
+  | Mod -> (
+      match (fst ca, fst cb) with
+      | (UI _ | XI _), (UI _ | XI _) ->
+          let emod x y =
+            if y = 0 then Interp.err "mod by zero";
+            ((x mod y) + y) mod y
+          in
+          if bothu then begin
+            let fa, owna = iopnd ca and fb, ownb = iopnd cb in
+            release st owna;
+            release st ownb;
+            let fa = iu fa and fb = iu fb in
+            ( UI
+                (fun rt m ->
+                  inst rt;
+                  let x = fa rt m in
+                  let y = fb rt m in
+                  emod x y),
+              [] )
+          end
+          else mk_ibin st emod ca cb
+      | _ -> unsupported "%% on non-int values")
+  | Lt -> comp_cmp st ca cb ~iop:(fun x y -> x < y) ~fop:(fun x y -> x < y)
+  | Le -> comp_cmp st ca cb ~iop:(fun x y -> x <= y) ~fop:(fun x y -> x <= y)
+  | Gt -> comp_cmp st ca cb ~iop:(fun x y -> x > y) ~fop:(fun x y -> x > y)
+  | Ge -> comp_cmp st ca cb ~iop:(fun x y -> x >= y) ~fop:(fun x y -> x >= y)
+  | Eq -> comp_cmp st ca cb ~iop:(fun x y -> x = y) ~fop:(fun x y -> x = y)
+  | Ne -> comp_cmp st ca cb ~iop:(fun x y -> x <> y) ~fop:(fun x y -> x <> y)
+  | And | Or ->
+      let disj = op = Or in
+      if bothu then begin
+        let fa, owna = bopnd ca and fb, ownb = bopnd cb in
+        release st owna;
+        release st ownb;
+        let fa = bu fa and fb = bu fb in
+        ( UB
+            (fun rt m ->
+              inst rt;
+              let x = fa rt m in
+              let y = fb rt m in
+              if disj then x || y else x && y),
+          [] )
+      end
+      else mk_bbin st ~disj ca cb
+
+and comp_vec_arith st op ca cb : ve =
+  let fop =
+    match op with Add -> ( +. ) | Sub -> ( -. ) | Mul -> ( *. ) | _ -> ( /. )
+  in
+  let comb2 rt m poff qoff doff =
+    let n = rt.n in
+    let fp = rt.fp in
+    if Array.length m = n then
+      for l = 0 to n - 1 do
+        fset fp (doff + l) (fop (fget fp (poff + l)) (fget fp (qoff + l)))
+      done
+    else
+      Array.iter
+        (fun l ->
+          fset fp (doff + l) (fop (fget fp (poff + l)) (fget fp (qoff + l))))
+        m
+  in
+  match (ca, cb) with
+  | (XF2 ((ax, ay), fla), owna), (XF2 ((bx, by), flb), ownb) ->
+      (* destinations before releasing the sources: with several result
+         planes written one after another, a destination aliasing a
+         not-yet-read source component would corrupt it *)
+      let dx = alloc_f st and dy = alloc_f st in
+      release st owna;
+      release st ownb;
+      let cn = st.cn in
+      let fill rt m =
+        inst rt;
+        fla rt m;
+        flb rt m;
+        flops rt (2 * Array.length m);
+        comb2 rt m (ax * cn) (bx * cn) (dx * cn);
+        comb2 rt m (ay * cn) (by * cn) (dy * cn)
+      in
+      (XF2 ((dx, dy), fill), [ PF dx; PF dy ])
+  | (XF4 ((ax, ay, az, aw), fla), owna), (XF4 ((bx, by, bz, bw), flb), ownb) ->
+      let dx = alloc_f st
+      and dy = alloc_f st
+      and dz = alloc_f st
+      and dw = alloc_f st in
+      release st owna;
+      release st ownb;
+      let cn = st.cn in
+      let fill rt m =
+        inst rt;
+        fla rt m;
+        flb rt m;
+        flops rt (4 * Array.length m);
+        comb2 rt m (ax * cn) (bx * cn) (dx * cn);
+        comb2 rt m (ay * cn) (by * cn) (dy * cn);
+        comb2 rt m (az * cn) (bz * cn) (dz * cn);
+        comb2 rt m (aw * cn) (bw * cn) (dw * cn)
+      in
+      (XF4 ((dx, dy, dz, dw), fill), [ PF dx; PF dy; PF dz; PF dw ])
+  | _ -> unsupported "mixed vector/scalar arithmetic"
+
+and comp_cmp st ca cb ~(iop : int -> int -> bool)
+    ~(fop : float -> float -> bool) : ve =
+  match (fst ca, fst cb) with
+  | UI fa, UI fb ->
+      release st (snd ca);
+      release st (snd cb);
+      ( UB
+          (fun rt m ->
+            inst rt;
+            let x = fa rt m in
+            let y = fb rt m in
+            iop x y),
+        [] )
+  | (UI _ | XI _), (UI _ | XI _) -> mk_icmp st iop ca cb
+  | _ ->
+      if is_uniform (fst ca) && is_uniform (fst cb) then begin
+        let fa, owna = fopnd st ca in
+        let fb, ownb = fopnd st cb in
+        release st owna;
+        release st ownb;
+        let fa = fu fa and fb = fu fb in
+        ( UB
+            (fun rt m ->
+              inst rt;
+              let x = fa rt m in
+              let y = fb rt m in
+              fop x y),
+          [] )
+      end
+      else mk_fcmp st fop ca cb
+
+and comp_offsets st env (strides : int array) (idxs : Ast.expr list) :
+    ostep list * plane list =
+  let owns = ref [] in
+  let steps =
+    List.mapi
+      (fun d idx ->
+        let stride = strides.(d) in
+        match comp_e st env idx with
+        | UI f, own ->
+            owns := own @ !owns;
+            OU (f, stride)
+        | UB f, own ->
+            owns := own @ !owns;
+            OU ((fun rt m -> if f rt m then 1 else 0), stride)
+        | ((XI _ | XB _), _) as v -> (
+            let o, own = iopnd v in
+            owns := own @ !owns;
+            match o with
+            | IP (p, fl) -> OV (p * st.cn, fl, stride)
+            | IU _ -> assert false)
+        | (UF _ | XF _ | XF2 _ | XF4 _), _ -> unsupported "expected an int value")
+      idxs
+  in
+  (steps, !owns)
+
+and comp_load st env arr idxs : ve =
+  match Smap.find_opt arr env with
+  | Some (Bglobal (gslot, strides, name)) ->
+      if List.length idxs <> Array.length strides then
+        unsupported "rank mismatch accessing %s" arr;
+      let steps, owns = comp_offsets st env strides idxs in
+      if all_uniform_steps steps then begin
+        release st owns;
+        ( UF
+            (fun rt m ->
+              inst rt;
+              let g = rt.globals.(gslot) in
+              let data = g.Devmem.data in
+              let len = Bigarray.Array1.dim data in
+              let o = eval_usteps steps rt m in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
+              let v = fget data o in
+              let addr = g.Devmem.base + (o * 4) in
+              account_const rt ~is_store:false ~elt_bytes:4 m ~addr;
+              v),
+          [] )
+      end
+      else begin
+        let xp, tmp = mk_xplan st steps in
+        (* dest allocated while the index planes are held: the gather
+           and accounting read them through the plan *)
+        let d = alloc_f st in
+        release st owns;
+        release st tmp;
+        let doff = d * st.cn in
+        let po = xp.xp_po and sc = xp.xp_scale in
+        let run = xp.xp_run in
+        let site = fresh_site st in
+        let fill rt m =
+          inst rt;
+          let g = rt.globals.(gslot) in
+          let data = g.Devmem.data in
+          let len = Bigarray.Array1.dim data in
+          let u = run rt m in
+          let n = rt.n in
+          let ip = rt.ip and fp = rt.fp in
+          if Array.length m = n then
+            if sc = 1 then
+              for l = 0 to n - 1 do
+                let o = iget ip (po + l) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
+                fset fp (doff + l) (fget data o)
+              done
+            else
+              for l = 0 to n - 1 do
+                let o = (iget ip (po + l) * sc) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
+                fset fp (doff + l) (fget data o)
+              done
+          else
+            Array.iter
+              (fun l ->
+                let o = (iget ip (po + l) * sc) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
+                fset fp (doff + l) (fget data o))
+              m;
+          account_plane rt ~is_store:false ~elt_bytes:4 m ~po
+            ~base:(g.Devmem.base + (4 * u))
+            ~scale:(4 * sc) ~site
+        in
+        (XF (d, fill), [ PF d ])
+      end
+  | Some (Bshared (sslot, strides, len)) ->
+      if List.length idxs <> Array.length strides then
+        unsupported "rank mismatch accessing shared %s" arr;
+      let steps, owns = comp_offsets st env strides idxs in
+      let name = arr in
+      if all_uniform_steps steps then begin
+        release st owns;
+        ( UF
+            (fun rt m ->
+              inst rt;
+              let data = rt.shareds.(sslot) in
+              let o = eval_usteps steps rt m in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds shared load %s[%d] (size %d)" name o
+                  len;
+              let v = fget data o in
+              account_shared_const rt m ~addr:o;
+              v),
+          [] )
+      end
+      else begin
+        let xp, tmp = mk_xplan st steps in
+        let d = alloc_f st in
+        release st owns;
+        release st tmp;
+        let doff = d * st.cn in
+        let po = xp.xp_po and sc = xp.xp_scale in
+        let run = xp.xp_run in
+        let site = fresh_site st in
+        let fill rt m =
+          inst rt;
+          let data = rt.shareds.(sslot) in
+          let u = run rt m in
+          let n = rt.n in
+          let ip = rt.ip and fp = rt.fp in
+          if Array.length m = n then
+            if sc = 1 then
+              for l = 0 to n - 1 do
+                let o = iget ip (po + l) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds shared load %s[%d] (size %d)" name
+                    o len;
+                fset fp (doff + l) (fget data o)
+              done
+            else
+              for l = 0 to n - 1 do
+                let o = (iget ip (po + l) * sc) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds shared load %s[%d] (size %d)" name
+                    o len;
+                fset fp (doff + l) (fget data o)
+              done
+          else
+            Array.iter
+              (fun l ->
+                let o = (iget ip (po + l) * sc) + u in
+                if o < 0 || o >= len then
+                  Interp.err "out-of-bounds shared load %s[%d] (size %d)" name
+                    o len;
+                fset fp (doff + l) (fget data o))
+              m;
+          account_shared_plane rt m ~po ~scale:sc ~u ~site
+        in
+        (XF (d, fill), [ PF d ])
+      end
+  | Some _ -> unsupported "%s is not an array" arr
+  | None -> unsupported "unbound variable %s" arr
+
+and comp_vload st env arr width idx : ve =
+  match Smap.find_opt arr env with
+  | Some (Bglobal (gslot, _, name)) ->
+      if width <> 2 && width <> 4 then unsupported "vector width %d" width;
+      let fidx, owni = iopnd (comp_e st env idx) in
+      (* dest planes allocated while the index plane is held: accounting
+         reads the index after the component loops write the planes *)
+      let ds = Array.init width (fun _ -> alloc_f st) in
+      release st owni;
+      let site = fresh_site st in
+      let cn = st.cn in
+      let doffs = Array.map (fun d -> d * cn) ds in
+      let ioff = match fidx with IP (p, _) -> p * cn | IU _ -> 0 in
+      let fill rt m =
+        inst rt;
+        let g = rt.globals.(gslot) in
+        let data = g.Devmem.data in
+        let len = Bigarray.Array1.dim data in
+        let n = rt.n in
+        let fp = rt.fp in
+        let iuv = ieval fidx rt m in
+        (match fidx with
+        | IU _ ->
+            let i0 = iuv * width in
+            for k = 0 to width - 1 do
+              let o = i0 + k in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds vector load %s[%d] (size %d)" name o
+                  len;
+              let v = fget data o in
+              let doff = doffs.(k) in
+              if Array.length m = n then
+                for l = 0 to n - 1 do
+                  fset fp (doff + l) v
+                done
+              else Array.iter (fun l -> fset fp (doff + l) v) m
+            done;
+            account_const rt ~is_store:false ~elt_bytes:(4 * width) m
+              ~addr:(g.Devmem.base + (i0 * 4))
+        | IP _ ->
+            let ip = rt.ip in
+            for k = 0 to width - 1 do
+              let doff = doffs.(k) in
+              if Array.length m = n then
+                for l = 0 to n - 1 do
+                  let o = (iget ip (ioff + l) * width) + k in
+                  if o < 0 || o >= len then
+                    Interp.err "out-of-bounds vector load %s[%d] (size %d)"
+                      name o len;
+                  fset fp (doff + l) (fget data o)
+                done
+              else
+                Array.iter
+                  (fun l ->
+                    let o = (iget ip (ioff + l) * width) + k in
+                    if o < 0 || o >= len then
+                      Interp.err "out-of-bounds vector load %s[%d] (size %d)"
+                        name o len;
+                    fset fp (doff + l) (fget data o))
+                  m
+            done;
+            account_plane rt ~is_store:false ~elt_bytes:(4 * width) m ~po:ioff
+              ~base:g.Devmem.base ~scale:(4 * width) ~site)
+      in
+      if width = 2 then
+        (XF2 ((ds.(0), ds.(1)), fill), [ PF ds.(0); PF ds.(1) ])
+      else
+        ( XF4 ((ds.(0), ds.(1), ds.(2), ds.(3)), fill),
+          [ PF ds.(0); PF ds.(1); PF ds.(2); PF ds.(3) ] )
+  | _ -> unsupported "vector load from non-global array %s" arr
+
+and comp_field st env a f : ve =
+  let keep_component own p fl =
+    let keep, drop = List.partition (fun pl -> pl = PF p) own in
+    release st drop;
+    (XF (p, fl), keep)
+  in
+  match (comp_e st env a, f) with
+  | (XF2 ((x, _), fl), own), Ast.FX -> keep_component own x fl
+  | (XF2 ((_, y), fl), own), Ast.FY -> keep_component own y fl
+  | (XF4 ((x, _, _, _), fl), own), Ast.FX -> keep_component own x fl
+  | (XF4 ((_, y, _, _), fl), own), Ast.FY -> keep_component own y fl
+  | (XF4 ((_, _, z, _), fl), own), Ast.FZ -> keep_component own z fl
+  | (XF4 ((_, _, _, w), fl), own), Ast.FW -> keep_component own w fl
+  | _ -> unsupported "bad vector field access"
+
+and comp_call st env f args : ve =
+  let unary g =
+    match args with
+    | [ a ] -> (
+        match comp_e st env a with
+        | ((UI _ | UF _), _) as v ->
+            let fa, own = fopnd st v in
+            release st own;
+            let fa = fu fa in
+            ( UF
+                (fun rt m ->
+                  inst rt;
+                  flops rt (Array.length m);
+                  g (fa rt m)),
+              [] )
+        | ((XI _ | XF _), _) as v ->
+            let fa, own = fopnd st v in
+            release st own;
+            let d = alloc_f st in
+            let doff = d * st.cn in
+            let poff = match fa with FP (p, _) -> p * st.cn | FU _ -> 0 in
+            let fill rt m =
+              inst rt;
+              flops rt (Array.length m);
+              (match fa with FP (_, fl) -> fl rt m | FU _ -> ());
+              let n = rt.n in
+              let fp = rt.fp in
+              if Array.length m = n then
+                for l = 0 to n - 1 do
+                  fset fp (doff + l) (g (fget fp (poff + l)))
+                done
+              else
+                Array.iter (fun l -> fset fp (doff + l) (g (fget fp (poff + l)))) m
+            in
+            (XF (d, fill), [ PF d ])
+        | _ -> unsupported "expected a float value")
+    | _ -> unsupported "%s expects one argument" f
+  in
+  let binary_f g =
+    match args with
+    | [ a; b ] ->
+        let ca = comp_e st env a in
+        let cb = comp_e st env b in
+        if is_uniform (fst ca) && is_uniform (fst cb) then begin
+          let fa, owna = fopnd st ca in
+          let fb, ownb = fopnd st cb in
+          release st owna;
+          release st ownb;
+          let fa = fu fa and fb = fu fb in
+          ( UF
+              (fun rt m ->
+                inst rt;
+                flops rt (Array.length m);
+                let x = fa rt m in
+                let y = fb rt m in
+                g x y),
+            [] )
+        end
+        else mk_fbin st ~flops_first:true g ca cb
+    | _ -> unsupported "%s expects two arguments" f
+  in
+  match f with
+  | "sqrtf" -> unary sqrt
+  | "fabsf" -> unary Float.abs
+  | "expf" -> unary exp
+  | "logf" -> unary log
+  | "sinf" -> unary sin
+  | "cosf" -> unary cos
+  | "fmaxf" -> binary_f Float.max
+  | "fminf" -> binary_f Float.min
+  | "min" | "max" -> (
+      match args with
+      | [ a; b ] ->
+          let ca = comp_e st env a in
+          let cb = comp_e st env b in
+          let g = if f = "min" then min else max in
+          if is_uniform (fst ca) && is_uniform (fst cb) then begin
+            let fa, owna = iopnd ca and fb, ownb = iopnd cb in
+            release st owna;
+            release st ownb;
+            let fa = iu fa and fb = iu fb in
+            ( UI
+                (fun rt m ->
+                  inst rt;
+                  let x = fa rt m in
+                  let y = fb rt m in
+                  g x y),
+              [] )
+          end
+          else mk_ibin st g ca cb
+      | _ -> unsupported "%s expects two arguments" f)
+  | "make_float2" -> (
+      match args with
+      | [ a; b ] ->
+          let (px, evx), owna = vec_component st env a in
+          let (py, evy), ownb = vec_component st env b in
+          let fill rt m =
+            inst rt;
+            evx rt m;
+            evy rt m
+          in
+          (XF2 ((px, py), fill), owna @ ownb)
+      | _ -> unsupported "make_float2 expects two arguments")
+  | "make_float4" -> (
+      match args with
+      | [ a; b; d; e ] ->
+          let (px, evx), owna = vec_component st env a in
+          let (py, evy), ownb = vec_component st env b in
+          let (pz, evz), ownc = vec_component st env d in
+          let (pw, evw), ownd = vec_component st env e in
+          let fill rt m =
+            inst rt;
+            evx rt m;
+            evy rt m;
+            evz rt m;
+            evw rt m
+          in
+          (XF4 ((px, py, pz, pw), fill), owna @ ownb @ ownc @ ownd)
+      | _ -> unsupported "make_float4 expects four arguments")
+  | _ -> unsupported "unknown intrinsic %s" f
+
+(** One component of a [make_floatN] intrinsic: a float plane plus the
+    evaluation action that produces it (the plane's own fill, or a
+    masked broadcast of a uniform). *)
+and vec_component st env (a : Ast.expr) : (int * fill) * plane list =
+  match fopnd st (comp_e st env a) with
+  | FP (p, fl), own -> ((p, fl), own)
+  | FU f, own ->
+      let t = alloc_f st in
+      let toff = t * st.cn in
+      let ev rt m =
+        let v = f rt m in
+        let n = rt.n in
+        let fp = rt.fp in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (toff + l) v
+          done
+        else Array.iter (fun l -> fset fp (toff + l) v) m
+      in
+      ((t, ev), PF t :: own)
+
+and comp_select st env cond a b : ve =
+  let cc = comp_e st env cond in
+  let ca = comp_e st env a in
+  let cb = comp_e st env b in
+  let allu =
+    is_uniform (fst cc) && is_uniform (fst ca) && is_uniform (fst cb)
+  in
+  let fc, ownc = bopnd cc in
+  match (fst ca, fst cb) with
+  | (UI _ | XI _), (UI _ | XI _) ->
+      let fa, owna = iopnd ca and fb, ownb = iopnd cb in
+      if allu then begin
+        release st ownc;
+        release st owna;
+        release st ownb;
+        let fc = bu fc and fa = iu fa and fb = iu fb in
+        ( UI
+            (fun rt m ->
+              inst rt;
+              let bv = fc rt m in
+              let x = fa rt m in
+              let y = fb rt m in
+              if bv then x else y),
+          [] )
+      end
+      else begin
+        release st ownc;
+        release st owna;
+        release st ownb;
+        let d = alloc_i st in
+        let doff = d * st.cn in
+        let rc = brd st fc in
+        let ra, _ = ird st fa and rb, _ = ird st fb in
+        let fill rt m =
+          inst rt;
+          let cv = beval fc rt m in
+          let av = ieval fa rt m in
+          let bv = ieval fb rt m in
+          let n = rt.n in
+          let ip = rt.ip in
+          if Array.length m = n then
+            for l = 0 to n - 1 do
+              iset ip (doff + l)
+                (if rc rt cv l then ra rt av l else rb rt bv l)
+            done
+          else
+            Array.iter
+              (fun l ->
+                iset ip (doff + l)
+                  (if rc rt cv l then ra rt av l else rb rt bv l))
+              m
+        in
+        (XI (d, fill), [ PI d ])
+      end
+  | (UB _ | XB _), (UB _ | XB _) ->
+      let fa, owna = bopnd ca and fb, ownb = bopnd cb in
+      if allu then begin
+        release st ownc;
+        release st owna;
+        release st ownb;
+        let fc = bu fc and fa = bu fa and fb = bu fb in
+        ( UB
+            (fun rt m ->
+              inst rt;
+              let bv = fc rt m in
+              let x = fa rt m in
+              let y = fb rt m in
+              if bv then x else y),
+          [] )
+      end
+      else begin
+        release st ownc;
+        release st owna;
+        release st ownb;
+        let d = alloc_i st in
+        let doff = d * st.cn in
+        let rc = brd st fc in
+        let ra = brd st fa and rb = brd st fb in
+        let fill rt m =
+          inst rt;
+          let cv = beval fc rt m in
+          let av = beval fa rt m in
+          let bv = beval fb rt m in
+          let n = rt.n in
+          let ip = rt.ip in
+          if Array.length m = n then
+            for l = 0 to n - 1 do
+              iset ip (doff + l)
+                (if
+                   if rc rt cv l then ra rt av l else rb rt bv l
+                 then 1
+                 else 0)
+            done
+          else
+            Array.iter
+              (fun l ->
+                iset ip (doff + l)
+                  (if
+                     if rc rt cv l then ra rt av l else rb rt bv l
+                   then 1
+                   else 0))
+              m
+        in
+        (XB (d, fill), [ PI d ])
+      end
+  | _ ->
+      let fa, owna = fopnd st ca in
+      let fb, ownb = fopnd st cb in
+      if allu then begin
+        release st ownc;
+        release st owna;
+        release st ownb;
+        let fc = bu fc and fa = fu fa and fb = fu fb in
+        ( UF
+            (fun rt m ->
+              inst rt;
+              let bv = fc rt m in
+              let x = fa rt m in
+              let y = fb rt m in
+              if bv then x else y),
+          [] )
+      end
+      else begin
+        release st ownc;
+        release st owna;
+        release st ownb;
+        let d = alloc_f st in
+        let doff = d * st.cn in
+        let rc = brd st fc in
+        let ra = frd st fa and rb = frd st fb in
+        let fill rt m =
+          inst rt;
+          let cv = beval fc rt m in
+          let av = feval fa rt m in
+          let bv = feval fb rt m in
+          let n = rt.n in
+          let fp = rt.fp in
+          if Array.length m = n then
+            for l = 0 to n - 1 do
+              fset fp (doff + l)
+                (if rc rt cv l then ra rt av l else rb rt bv l)
+            done
+          else
+            Array.iter
+              (fun l ->
+                fset fp (doff + l)
+                  (if rc rt cv l then ra rt av l else rb rt bv l))
+              m
+        in
+        (XF (d, fill), [ PF d ])
+      end
+
+(* --- statements --- *)
+
+
+(** Masked store into a declared variable's permanent plane(s), with the
+    reference interpreter's promotion rules (int->float, bool->int,
+    int->bool). *)
+let store_plane st (b : binding) (ve : ve) : vstmt =
+  let cn = st.cn in
+  match (b, fst ve) with
+  | Bint d, (UI _ | XI _ | UB _ | XB _) ->
+      let io, own = iopnd ve in
+      release st own;
+      let r, _ = ird st io in
+      let doff = d * cn in
+      fun rt m ->
+        let v = ieval io rt m in
+        let n = rt.n in
+        let ip = rt.ip in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) (r rt v l)
+          done
+        else Array.iter (fun l -> iset ip (doff + l) (r rt v l)) m
+  | Bfloat d, (UI _ | UF _ | XI _ | XF _) ->
+      let fo, own = fopnd st ve in
+      release st own;
+      let r = frd st fo in
+      let doff = d * cn in
+      fun rt m ->
+        let v = feval fo rt m in
+        let n = rt.n in
+        let fp = rt.fp in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            fset fp (doff + l) (r rt v l)
+          done
+        else Array.iter (fun l -> fset fp (doff + l) (r rt v l)) m
+  | Bbool d, (UB _ | XB _ | UI _ | XI _) ->
+      let bo, own = bopnd ve in
+      release st own;
+      let r = brd st bo in
+      let doff = d * cn in
+      fun rt m ->
+        let v = beval bo rt m in
+        let n = rt.n in
+        let ip = rt.ip in
+        if Array.length m = n then
+          for l = 0 to n - 1 do
+            iset ip (doff + l) (if r rt v l then 1 else 0)
+          done
+        else
+          Array.iter (fun l -> iset ip (doff + l) (if r rt v l then 1 else 0)) m
+  | Bf2 (dx, dy), XF2 ((sx, sy), fl) ->
+      release st (snd ve);
+      let copies = [| (sx * cn, dx * cn); (sy * cn, dy * cn) |] in
+      fun rt m ->
+        fl rt m;
+        let n = rt.n in
+        let fp = rt.fp in
+        Array.iter
+          (fun (so, dd) ->
+            if Array.length m = n then
+              for l = 0 to n - 1 do
+                fset fp (dd + l) (fget fp (so + l))
+              done
+            else Array.iter (fun l -> fset fp (dd + l) (fget fp (so + l))) m)
+          copies
+  | Bf4 (dx, dy, dz, dw), XF4 ((sx, sy, sz, sw), fl) ->
+      release st (snd ve);
+      let copies =
+        [|
+          (sx * cn, dx * cn);
+          (sy * cn, dy * cn);
+          (sz * cn, dz * cn);
+          (sw * cn, dw * cn);
+        |]
+      in
+      fun rt m ->
+        fl rt m;
+        let n = rt.n in
+        let fp = rt.fp in
+        Array.iter
+          (fun (so, dd) ->
+            if Array.length m = n then
+              for l = 0 to n - 1 do
+                fset fp (dd + l) (fget fp (so + l))
+              done
+            else Array.iter (fun l -> fset fp (dd + l) (fget fp (so + l))) m)
+          copies
+  | _ -> unsupported "incompatible assignment"
+
+let shared_slot st name (a : Ast.array_ty) : int * Layout.t * int =
+  let lay = Layout.make ~pad:false name a in
+  match List.find_opt (fun (n, _, _, _) -> n = name) st.shared_specs with
+  | Some (_, lay0, len, slot) ->
+      if lay0 <> lay then unsupported "conflicting shared layouts for %s" name;
+      (slot, lay, len)
+  | None ->
+      let slot = List.length st.shared_specs in
+      let len = max 1 (Layout.size_elems lay) in
+      st.shared_specs <- st.shared_specs @ [ (name, lay, len, slot) ];
+      (slot, lay, len)
+
+let assigns_var name (b : Ast.block) : bool =
+  let rec stmt = function
+    | Ast.Assign (Lvar v, _) -> v = name
+    | Ast.Assign (_, _) -> false
+    | Ast.If (_, t, f) -> block t || block f
+    | Ast.For l -> block l.l_body
+    | Ast.Decl _ | Ast.Sync | Ast.Global_sync | Ast.Comment _ -> false
+  and block b = List.exists stmt b in
+  block b
+
+(** Zero every lane of the planes backing one declared scalar — the
+    analogue of the reference's fresh per-execution value arrays. *)
+let fresh_planes st (b : binding) : vrt -> unit =
+  let cn = st.cn in
+  let fplanes =
+    match b with
+    | Bfloat p -> [| p * cn |]
+    | Bf2 (x, y) -> [| x * cn; y * cn |]
+    | Bf4 (x, y, z, w) -> [| x * cn; y * cn; z * cn; w * cn |]
+    | _ -> [||]
+  in
+  let iplanes =
+    match b with Bint p | Bbool p -> [| p * cn |] | _ -> [||]
+  in
+  fun rt ->
+    let n = rt.n in
+    Array.iter
+      (fun o ->
+        let fp = rt.fp in
+        for l = 0 to n - 1 do
+          fset fp (o + l) 0.0
+        done)
+      fplanes;
+    Array.iter (fun o -> Array.fill rt.ip o n 0) iplanes
+
+let rec comp_stmt st env (s : Ast.stmt) : binding Smap.t * vstmt option =
+  match s with
+  | Comment _ -> (env, None)
+  | Global_sync ->
+      (* top-level barriers are phase splits; a nested one is a no-op,
+         exactly like the reference *)
+      (env, None)
+  | Sync ->
+      ( env,
+        Some
+          (fun rt _ ->
+            let s = rt.c.Interp.stats in
+            s.Stats.syncs <- s.Stats.syncs +. 1.;
+            rt.c.Interp.epoch <- rt.c.Interp.epoch + 1;
+            inst rt) )
+  | Decl { d_name; d_ty = Scalar sc; d_init } ->
+      let b =
+        match sc with
+        | Ast.Int -> Bint (alloc_i st)
+        | Ast.Bool -> Bbool (alloc_i st)
+        | Ast.Float -> Bfloat (alloc_f st)
+        | Ast.Float2 -> Bf2 (alloc_f st, alloc_f st)
+        | Ast.Float4 -> Bf4 (alloc_f st, alloc_f st, alloc_f st, alloc_f st)
+      in
+      let zero = fresh_planes st b in
+      let stm =
+        match d_init with
+        | None -> fun rt _ -> zero rt
+        | Some e ->
+            let store = store_plane st b (comp_e st env e) in
+            fun rt m ->
+              zero rt;
+              inst rt;
+              store rt m
+      in
+      (Smap.add d_name b env, Some stm)
+  | Decl { d_name; d_ty = Array ({ space = Shared; _ } as a); _ } ->
+      let slot, lay, len = shared_slot st d_name a in
+      let strides = Array.of_list (Layout.strides lay) in
+      (Smap.add d_name (Bshared (slot, strides, len)) env, None)
+  | Decl { d_name; d_ty = Array _; _ } ->
+      unsupported "declaration of non-shared array %s in kernel body" d_name
+  | Assign (lv, e) -> (env, Some (comp_assign st env lv e))
+  | If (cond, t, f) -> (
+      let cc = comp_e st env cond in
+      match fst cc with
+      | UB _ | UI _ ->
+          let fc, ownc = bopnd cc in
+          release st ownc;
+          let fc = bu fc in
+          let tstm = comp_block st env t in
+          let fstm = comp_block st env f in
+          ( env,
+            Some
+              (fun rt m ->
+                inst rt;
+                if fc rt m then tstm rt m else fstm rt m) )
+      | XB _ | XI _ ->
+          let fc, ownc = bopnd cc in
+          release st ownc;
+          let rc = brd st fc in
+          let tstm = comp_block st env t in
+          let fstm = comp_block st env f in
+          ( env,
+            Some
+              (fun rt m ->
+                inst rt;
+                let cv = beval fc rt m in
+                let nt = ref 0 in
+                Array.iter (fun l -> if rc rt cv l then incr nt) m;
+                let nt = !nt in
+                let nm = Array.length m in
+                let tm = Array.make nt 0 and fm = Array.make (nm - nt) 0 in
+                let ti = ref 0 and fi = ref 0 in
+                Array.iter
+                  (fun l ->
+                    if rc rt cv l then begin
+                      tm.(!ti) <- l;
+                      incr ti
+                    end
+                    else begin
+                      fm.(!fi) <- l;
+                      incr fi
+                    end)
+                  m;
+                if nt > 0 && nm - nt > 0 then begin
+                  let s = rt.c.Interp.stats in
+                  s.Stats.divergent_branches <-
+                    s.Stats.divergent_branches +. 1.
+                end;
+                if nt > 0 then tstm rt tm;
+                if nm - nt > 0 then fstm rt fm) )
+      | UF _ | XF _ | XF2 _ | XF4 _ -> unsupported "expected a boolean value")
+  | For { l_var; l_init; l_limit; l_step; l_body } -> (
+      let init_ce = comp_e st env l_init in
+      let init_uniform =
+        match fst init_ce with UI _ | UB _ -> true | _ -> false
+      in
+      let uniform_candidate = init_uniform && not (assigns_var l_var l_body) in
+      let uniform_compiled =
+        if not uniform_candidate then None
+        else begin
+          let r = fresh_ureg st in
+          let env_u = Smap.add l_var (Bloop_u r) env in
+          match (comp_e st env_u l_limit, comp_e st env_u l_step) with
+          | (((UI _ | UB _), _) as lim_ce), (((UI _ | UB _), _) as step_ce) ->
+              let finit, owni = iopnd init_ce in
+              let flim, ownl = iopnd lim_ce in
+              let fstep, owns = iopnd step_ce in
+              release st owni;
+              release st ownl;
+              release st owns;
+              let finit = iu finit and flim = iu flim and fstep = iu fstep in
+              let body = comp_block st env_u l_body in
+              Some
+                (fun rt m ->
+                  inst rt;
+                  rt.uregs.(r) <- finit rt m;
+                  let rec loop () =
+                    let lim = flim rt m in
+                    let go = rt.uregs.(r) < lim in
+                    inst rt;
+                    if go then begin
+                      body rt m;
+                      rt.uregs.(r) <- rt.uregs.(r) + fstep rt m;
+                      inst rt;
+                      loop ()
+                    end
+                  in
+                  loop ())
+          | _ -> None
+        end
+      in
+      match uniform_compiled with
+      | Some stm -> (env, Some stm)
+      | None ->
+          let finit, owni = iopnd init_ce in
+          let piv =
+            (* permanent counter plane, allocated while the init's
+               planes are held so they cannot alias *)
+            let p = st.ni in
+            st.ni <- p + 1;
+            p
+          in
+          release st owni;
+          let env_v = Smap.add l_var (Bloop_v piv) env in
+          let flim, ownl = iopnd (comp_e st env_v l_limit) in
+          let fstep, owns = iopnd (comp_e st env_v l_step) in
+          release st ownl;
+          release st owns;
+          let rinit, _ = ird st finit in
+          let rlim, _ = ird st flim in
+          let rstep, _ = ird st fstep in
+          let body = comp_block st env_v l_body in
+          let ioff = piv * st.cn in
+          ( env,
+            Some
+              (fun rt m ->
+                let n = rt.n in
+                let ip = rt.ip in
+                Array.fill ip ioff n 0;
+                inst rt;
+                let iv = ieval finit rt m in
+                Array.iter (fun l -> iset ip (ioff + l) (rinit rt iv l)) m;
+                let rec loop active =
+                  let lv = ieval flim rt active in
+                  let ns = ref 0 in
+                  Array.iter
+                    (fun l ->
+                      if iget ip (ioff + l) < rlim rt lv l then incr ns)
+                    active;
+                  let still = Array.make !ns 0 in
+                  let si = ref 0 in
+                  Array.iter
+                    (fun l ->
+                      if iget ip (ioff + l) < rlim rt lv l then begin
+                        still.(!si) <- l;
+                        incr si
+                      end)
+                    active;
+                  inst rt;
+                  if !ns > 0 then begin
+                    body rt still;
+                    let sv = ieval fstep rt still in
+                    Array.iter
+                      (fun l ->
+                        iset ip (ioff + l) (iget ip (ioff + l) + rstep rt sv l))
+                      still;
+                    inst rt;
+                    loop still
+                  end
+                in
+                loop m) ))
+
+(* In-place accumulation [v = v +/- rest] (and the mirrored
+   [v = rest + v]) into the variable's own plane, skipping the
+   temporary-plane + copy-back of the generic assign. When [rest] is an
+   elementwise float product the multiply folds into the same pass — the
+   [sum += a * b] inner-loop shape. Statistics stay identical to the
+   generic path: [inst]/[flops] are exact order-free counters so only
+   their totals must match, and the operand fills (which may contain
+   accounted loads feeding the order-sensitive [cost_bytes]) run in the
+   same relative order as {!mk_fbin} would run them. *)
+and comp_acc st env (v : string) (pv : int) (e : Ast.expr) : vstmt =
+  let cn = st.cn in
+  let doff = pv * cn in
+  let op, rest, sum_left =
+    match e with
+    | Ast.Binop (((Ast.Add | Ast.Sub) as op), Ast.Var v', rest) when v' = v ->
+        (op, rest, true)
+    | Ast.Binop (Ast.Add, rest, Ast.Var v') when v' = v -> (Ast.Add, rest, false)
+    | _ -> unsupported "not an accumulation"
+  in
+  let fop = match op with Ast.Sub -> ( -. ) | _ -> ( +. ) in
+  (* [Ok (a, aoff, b, boff)]: fused multiply-accumulate operands.
+     [Error ve]: plain accumulate of an already-compiled [rest]. *)
+  let fused =
+    match rest with
+    | Ast.Binop (Ast.Mul, e1, e2) -> (
+        let ca = comp_e st env e1 in
+        let cb = comp_e st env e2 in
+        match (fst ca, fst cb) with
+        | (UI _ | XI _), (UI _ | XI _) | (XF2 _ | XF4 _), _ | _, (XF2 _ | XF4 _)
+          ->
+            (* integer or vector multiply: not the float-plane shape *)
+            Error (comp_binop_c st Ast.Mul ca cb)
+        | ka, kb when is_uniform ka && is_uniform kb ->
+            Error (comp_binop_c st Ast.Mul ca cb)
+        | _ ->
+            let fa, owna = fopnd st ca in
+            let fb, ownb = fopnd st cb in
+            release st owna;
+            release st ownb;
+            let aoff = match fa with FP (p, _) -> p * cn | FU _ -> 0 in
+            let boff = match fb with FP (p, _) -> p * cn | FU _ -> 0 in
+            Ok (fa, aoff, fb, boff))
+    | _ -> Error (comp_e st env rest)
+  in
+  match fused with
+  | Ok (fa, aoff, fb, boff) -> (
+      let pre rt m =
+        inst rt;
+        (* assign *)
+        inst rt;
+        (* add/sub *)
+        inst rt;
+        (* mul *)
+        let av = feval fa rt m in
+        let bv = feval fb rt m in
+        let k = Array.length m in
+        flops rt k;
+        flops rt k;
+        (av, bv)
+      in
+      match (fa, fb) with
+      | FP _, FP _ ->
+          fun rt m ->
+            ignore (pre rt m);
+            let n = rt.n in
+            let fp = rt.fp in
+            if sum_left then
+              if Array.length m = n then
+                for l = 0 to n - 1 do
+                  fset fp (doff + l)
+                    (fop
+                       (fget fp (doff + l))
+                       (fget fp (aoff + l) *. fget fp (boff + l)))
+                done
+              else
+                Array.iter
+                  (fun l ->
+                    fset fp (doff + l)
+                      (fop
+                         (fget fp (doff + l))
+                         (fget fp (aoff + l) *. fget fp (boff + l))))
+                  m
+            else if Array.length m = n then
+              for l = 0 to n - 1 do
+                fset fp (doff + l)
+                  (fop
+                     (fget fp (aoff + l) *. fget fp (boff + l))
+                     (fget fp (doff + l)))
+              done
+            else
+              Array.iter
+                (fun l ->
+                  fset fp (doff + l)
+                    (fop
+                       (fget fp (aoff + l) *. fget fp (boff + l))
+                       (fget fp (doff + l))))
+                m
+      | FP _, FU _ ->
+          fun rt m ->
+            let _, bv = pre rt m in
+            let n = rt.n in
+            let fp = rt.fp in
+            if sum_left then
+              if Array.length m = n then
+                for l = 0 to n - 1 do
+                  fset fp (doff + l)
+                    (fop (fget fp (doff + l)) (fget fp (aoff + l) *. bv))
+                done
+              else
+                Array.iter
+                  (fun l ->
+                    fset fp (doff + l)
+                      (fop (fget fp (doff + l)) (fget fp (aoff + l) *. bv)))
+                  m
+            else if Array.length m = n then
+              for l = 0 to n - 1 do
+                fset fp (doff + l)
+                  (fop (fget fp (aoff + l) *. bv) (fget fp (doff + l)))
+              done
+            else
+              Array.iter
+                (fun l ->
+                  fset fp (doff + l)
+                    (fop (fget fp (aoff + l) *. bv) (fget fp (doff + l))))
+                m
+      | FU _, FP _ ->
+          fun rt m ->
+            let av, _ = pre rt m in
+            let n = rt.n in
+            let fp = rt.fp in
+            if sum_left then
+              if Array.length m = n then
+                for l = 0 to n - 1 do
+                  fset fp (doff + l)
+                    (fop (fget fp (doff + l)) (av *. fget fp (boff + l)))
+                done
+              else
+                Array.iter
+                  (fun l ->
+                    fset fp (doff + l)
+                      (fop (fget fp (doff + l)) (av *. fget fp (boff + l))))
+                  m
+            else if Array.length m = n then
+              for l = 0 to n - 1 do
+                fset fp (doff + l)
+                  (fop (av *. fget fp (boff + l)) (fget fp (doff + l)))
+              done
+            else
+              Array.iter
+                (fun l ->
+                  fset fp (doff + l)
+                    (fop (av *. fget fp (boff + l)) (fget fp (doff + l))))
+                m
+      | FU _, FU _ ->
+          (* excluded above: both-uniform products stay on the scalar
+             channel *)
+          assert false)
+  | Error ((ce, _) as ve) -> (
+      match ce with
+      | XF2 _ | XF4 _ ->
+          (* vector-valued rhs: keep the generic assign *)
+          let cvar : ve = (XF (pv, nofill), []) in
+          let sum_ve =
+            if sum_left then comp_binop_c st op cvar ve
+            else comp_binop_c st op ve cvar
+          in
+          let store = store_plane st (Bfloat pv) sum_ve in
+          fun rt m ->
+            inst rt;
+            store rt m
+      | _ -> (
+          let fo, own = fopnd st ve in
+          release st own;
+          let aoff = match fo with FP (p, _) -> p * cn | FU _ -> 0 in
+          match fo with
+          | FP _ ->
+              fun rt m ->
+                inst rt;
+                inst rt;
+                ignore (feval fo rt m);
+                let k = Array.length m in
+                flops rt k;
+                let n = rt.n in
+                let fp = rt.fp in
+                if sum_left then
+                  if k = n then
+                    for l = 0 to n - 1 do
+                      fset fp (doff + l)
+                        (fop (fget fp (doff + l)) (fget fp (aoff + l)))
+                    done
+                  else
+                    Array.iter
+                      (fun l ->
+                        fset fp (doff + l)
+                          (fop (fget fp (doff + l)) (fget fp (aoff + l))))
+                      m
+                else if k = n then
+                  for l = 0 to n - 1 do
+                    fset fp (doff + l)
+                      (fop (fget fp (aoff + l)) (fget fp (doff + l)))
+                  done
+                else
+                  Array.iter
+                    (fun l ->
+                      fset fp (doff + l)
+                        (fop (fget fp (aoff + l)) (fget fp (doff + l))))
+                    m
+          | FU _ ->
+              fun rt m ->
+                inst rt;
+                inst rt;
+                let av = feval fo rt m in
+                let k = Array.length m in
+                flops rt k;
+                let n = rt.n in
+                let fp = rt.fp in
+                if sum_left then
+                  if k = n then
+                    for l = 0 to n - 1 do
+                      fset fp (doff + l) (fop (fget fp (doff + l)) av)
+                    done
+                  else
+                    Array.iter
+                      (fun l -> fset fp (doff + l) (fop (fget fp (doff + l)) av))
+                      m
+                else if k = n then
+                  for l = 0 to n - 1 do
+                    fset fp (doff + l) (fop av (fget fp (doff + l)))
+                  done
+                else
+                  Array.iter
+                    (fun l -> fset fp (doff + l) (fop av (fget fp (doff + l))))
+                    m))
+
+and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
+  match lv with
+  | Lvar v -> (
+      match Smap.find_opt v env with
+      | Some (Bfloat pv)
+        when (match e with
+             | Ast.Binop ((Ast.Add | Ast.Sub), Ast.Var v', _) when v' = v ->
+                 true
+             | Ast.Binop (Ast.Add, _, Ast.Var v') when v' = v -> true
+             | _ -> false) ->
+          comp_acc st env v pv e
+      | Some ((Bint _ | Bfloat _ | Bbool _ | Bf2 _ | Bf4 _) as b) ->
+          let store = store_plane st b (comp_e st env e) in
+          fun rt m ->
+            inst rt;
+            store rt m
+      | Some (Bloop_v p) ->
+          let store = store_plane st (Bint p) (comp_e st env e) in
+          fun rt m ->
+            inst rt;
+            store rt m
+      | Some (Bloop_u _) -> unsupported "assignment to uniform loop variable"
+      | Some _ | None -> unsupported "assignment to non-scalar %s" v)
+  | Lfield (Lvar v, fcomp) -> (
+      match (comp_e st env e, Smap.find_opt v env, fcomp) with
+      | src, Some (Bf2 (x, _)), Ast.FX -> store_component st src x
+      | src, Some (Bf2 (_, y)), Ast.FY -> store_component st src y
+      | src, Some (Bf4 (x, _, _, _)), Ast.FX -> store_component st src x
+      | src, Some (Bf4 (_, y, _, _)), Ast.FY -> store_component st src y
+      | src, Some (Bf4 (_, _, z, _)), Ast.FZ -> store_component st src z
+      | src, Some (Bf4 (_, _, _, w)), Ast.FW -> store_component st src w
+      | _ -> unsupported "bad vector component assignment to %s" v)
+  | Lfield _ -> unsupported "unsupported field assignment"
+  | Lvec { v_arr; v_width; v_index } -> (
+      match Smap.find_opt v_arr env with
+      | Some (Bglobal (gslot, _, name)) -> (
+          let fidx, owni = iopnd (comp_e st env v_index) in
+          let src = comp_e st env e in
+          let comps =
+            match (fst src, v_width) with
+            | XF2 ((x, y), fl), 2 -> ([| x * st.cn; y * st.cn |], fl)
+            | XF4 ((x, y, z, w), fl), 4 ->
+                ([| x * st.cn; y * st.cn; z * st.cn; w * st.cn |], fl)
+            | _ -> unsupported "vector store width mismatch on %s" v_arr
+          in
+          release st (snd src);
+          release st owni;
+          let site = fresh_site st in
+          let coffs, cfl = comps in
+          match fidx with
+          | IU fi ->
+              fun rt m ->
+                inst rt;
+                let i0 = fi rt m in
+                cfl rt m;
+                let g = rt.globals.(gslot) in
+                let data = g.Devmem.data in
+                let len = Bigarray.Array1.dim data in
+                let fp = rt.fp in
+                Array.iter
+                  (fun l ->
+                    let i0 = i0 * v_width in
+                    for q = 0 to v_width - 1 do
+                      let o = i0 + q in
+                      if o < 0 || o >= len then
+                        Interp.err
+                          "out-of-bounds vector store %s[%d] (size %d)" name o
+                          len;
+                      fset data o (fget fp (coffs.(q) + l))
+                    done)
+                  m;
+                account_const rt ~is_store:true ~elt_bytes:(4 * v_width) m
+                  ~addr:(g.Devmem.base + (i0 * v_width * 4))
+          | IP (p, fl) ->
+              let po = p * st.cn in
+              fun rt m ->
+                inst rt;
+                fl rt m;
+                cfl rt m;
+                let g = rt.globals.(gslot) in
+                let data = g.Devmem.data in
+                let len = Bigarray.Array1.dim data in
+                let fp = rt.fp and ip = rt.ip in
+                Array.iter
+                  (fun l ->
+                    let i0 = iget ip (po + l) * v_width in
+                    for q = 0 to v_width - 1 do
+                      let o = i0 + q in
+                      if o < 0 || o >= len then
+                        Interp.err
+                          "out-of-bounds vector store %s[%d] (size %d)" name o
+                          len;
+                      fset data o (fget fp (coffs.(q) + l))
+                    done)
+                  m;
+                account_plane rt ~is_store:true ~elt_bytes:(4 * v_width) m
+                  ~po ~base:g.Devmem.base ~scale:(4 * v_width) ~site)
+      | _ -> unsupported "vector store to non-global array %s" v_arr)
+  | Lindex (arr, idxs) -> (
+      let src, owns_src = fopnd st (comp_e st env e) in
+      let rs = frd st src in
+      match Smap.find_opt arr env with
+      | Some (Bglobal (gslot, strides, name)) ->
+          if List.length idxs <> Array.length strides then
+            unsupported "rank mismatch accessing %s" arr;
+          let steps, owns_i = comp_offsets st env strides idxs in
+          if all_uniform_steps steps then begin
+            release st owns_i;
+            release st owns_src;
+            fun rt m ->
+              inst rt;
+              let sv = feval src rt m in
+              let g = rt.globals.(gslot) in
+              let data = g.Devmem.data in
+              let len = Bigarray.Array1.dim data in
+              let o = eval_usteps steps rt m in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds store %s[%d] (size %d)" name o len;
+              Array.iter (fun l -> fset data o (rs rt sv l)) m;
+              let addr = g.Devmem.base + (o * 4) in
+              account_const rt ~is_store:true ~elt_bytes:4 m ~addr
+          end
+          else begin
+            let xp, tmp = mk_xplan st steps in
+            release st owns_i;
+            release st owns_src;
+            release st tmp;
+            let po = xp.xp_po and sc = xp.xp_scale in
+            let run = xp.xp_run in
+            let site = fresh_site st in
+            fun rt m ->
+              inst rt;
+              let sv = feval src rt m in
+              let g = rt.globals.(gslot) in
+              let data = g.Devmem.data in
+              let len = Bigarray.Array1.dim data in
+              let u = run rt m in
+              let ip = rt.ip in
+              if Array.length m = rt.n then
+                for l = 0 to rt.n - 1 do
+                  let o = (iget ip (po + l) * sc) + u in
+                  if o < 0 || o >= len then
+                    Interp.err "out-of-bounds store %s[%d] (size %d)" name o
+                      len;
+                  fset data o (rs rt sv l)
+                done
+              else
+                Array.iter
+                  (fun l ->
+                    let o = (iget ip (po + l) * sc) + u in
+                    if o < 0 || o >= len then
+                      Interp.err "out-of-bounds store %s[%d] (size %d)" name o
+                        len;
+                    fset data o (rs rt sv l))
+                  m;
+              account_plane rt ~is_store:true ~elt_bytes:4 m ~po
+                ~base:(g.Devmem.base + (4 * u))
+                ~scale:(4 * sc) ~site
+          end
+      | Some (Bshared (sslot, strides, len)) ->
+          if List.length idxs <> Array.length strides then
+            unsupported "rank mismatch accessing shared %s" arr;
+          let steps, owns_i = comp_offsets st env strides idxs in
+          let name = arr in
+          if all_uniform_steps steps then begin
+            release st owns_i;
+            release st owns_src;
+            fun rt m ->
+              inst rt;
+              let sv = feval src rt m in
+              let data = rt.shareds.(sslot) in
+              let o = eval_usteps steps rt m in
+              if o < 0 || o >= len then
+                Interp.err "out-of-bounds shared store %s[%d] (size %d)" name
+                  o len;
+              Array.iter (fun l -> fset data o (rs rt sv l)) m;
+              account_shared_const rt m ~addr:o
+          end
+          else begin
+            let xp, tmp = mk_xplan st steps in
+            release st owns_i;
+            release st owns_src;
+            release st tmp;
+            let po = xp.xp_po and sc = xp.xp_scale in
+            let run = xp.xp_run in
+            let site = fresh_site st in
+            fun rt m ->
+              inst rt;
+              let sv = feval src rt m in
+              let data = rt.shareds.(sslot) in
+              let u = run rt m in
+              let ip = rt.ip in
+              if Array.length m = rt.n then
+                for l = 0 to rt.n - 1 do
+                  let o = (iget ip (po + l) * sc) + u in
+                  if o < 0 || o >= len then
+                    Interp.err "out-of-bounds shared store %s[%d] (size %d)"
+                      name o len;
+                  fset data o (rs rt sv l)
+                done
+              else
+                Array.iter
+                  (fun l ->
+                    let o = (iget ip (po + l) * sc) + u in
+                    if o < 0 || o >= len then
+                      Interp.err "out-of-bounds shared store %s[%d] (size %d)"
+                        name o len;
+                    fset data o (rs rt sv l))
+                  m;
+              account_shared_plane rt m ~po ~scale:sc ~u ~site
+          end
+      | Some _ | None -> unsupported "%s is not an array" arr)
+
+and store_component st (src : ve) (dplane : int) : vstmt =
+  let fo, own = fopnd st src in
+  release st own;
+  let r = frd st fo in
+  let doff = dplane * st.cn in
+  fun rt m ->
+    inst rt;
+    let v = feval fo rt m in
+    let fp = rt.fp in
+    Array.iter (fun l -> fset fp (doff + l) (r rt v l)) m
+
+and comp_block st env (b : Ast.block) : vstmt =
+  snd (comp_block_env st env b)
+
+and comp_block_env st env (b : Ast.block) : binding Smap.t * vstmt =
+  let env', rev_stms =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env', stm = comp_stmt st env s in
+        (env', match stm with None -> acc | Some f -> f :: acc))
+      (env, []) b
+  in
+  match List.rev rev_stms with
+  | [] -> (env', fun _ _ -> ())
+  | [ f ] -> (env', f)
+  | fs ->
+      let a = Array.of_list fs in
+      (env', fun rt m -> Array.iter (fun f -> f rt m) a)
+
+(* --- top-level compilation --- *)
+
+type code = {
+  co_nf : int;  (** float planes *)
+  co_ni : int;  (** int planes *)
+  co_nuregs : int;
+  co_nsites : int;
+  co_shared_lens : int array;  (** padded length per shared slot *)
+  co_globals : (string * int array) array;
+      (** per global slot: parameter name and expected padded strides *)
+  co_phases : vstmt array;
+  co_tid_planes : (Ast.builtin * int) list;
+  co_tidx : int array;
+  co_tidy : int array;
+  co_full_mask : int array;
+  co_n : int;
+  co_warps : float;
+  co_launch : Ast.launch;
+  co_pool : vrt list ref;
+      (** retired block states, reused across runs to skip plane
+          allocation (see {!retire}); guarded by [co_pool_mu] *)
+  co_pool_mu : Mutex.t;
+}
+
+let compile_uncached (k : Ast.kernel) (launch : Ast.launch) : code =
+  let n = launch.block_x * launch.block_y in
+  let st =
+    {
+      nf = 0;
+      ni = 0;
+      free_f = [];
+      free_i = [];
+      nuregs = 0;
+      nsites = 0;
+      shared_specs = [];
+      global_params = [];
+      tid_planes = [];
+      cn = n;
+      claunch = launch;
+    }
+  in
+  let layouts = Layout.of_kernel k in
+  let env =
+    List.fold_left
+      (fun env (p : Ast.param) ->
+        match p.p_ty with
+        | Array { space = Global; _ } ->
+            let lay =
+              match List.assoc_opt p.p_name layouts with
+              | Some l -> l
+              | None -> unsupported "no layout for %s" p.p_name
+            in
+            let strides = Array.of_list (Layout.strides lay) in
+            let slot = List.length st.global_params in
+            st.global_params <- st.global_params @ [ (p.p_name, strides) ];
+            Smap.add p.p_name (Bglobal (slot, strides, p.p_name)) env
+        | Scalar Int -> (
+            match List.assoc_opt p.p_name k.k_sizes with
+            | Some v -> Smap.add p.p_name (Bconst v) env
+            | None ->
+                unsupported "int parameter %s has no #pragma gpcc dim binding"
+                  p.p_name)
+        | Scalar _ ->
+            unsupported "unsupported scalar parameter type for %s" p.p_name
+        | Array _ -> unsupported "non-global array parameter %s" p.p_name)
+      Smap.empty k.k_params
+  in
+  let phases =
+    let rec go env acc = function
+      | [] -> List.rev acc
+      | phase :: rest ->
+          let env', stm = comp_block_env st env phase in
+          go env' (stm :: acc) rest
+    in
+    Array.of_list (go env [] (Compile.phases_of_body k.k_body))
+  in
+  let shared_lens =
+    let a = Array.make (List.length st.shared_specs) 0 in
+    List.iter (fun (_, _, len, slot) -> a.(slot) <- len) st.shared_specs;
+    a
+  in
+  {
+    co_nf = st.nf;
+    co_ni = st.ni;
+    co_nuregs = st.nuregs;
+    co_nsites = st.nsites;
+    co_shared_lens = shared_lens;
+    co_globals = Array.of_list st.global_params;
+    co_phases = phases;
+    co_tid_planes = st.tid_planes;
+    co_tidx = Array.init n (fun l -> l mod launch.block_x);
+    co_tidy = Array.init n (fun l -> l / launch.block_x);
+    co_full_mask = Array.init n Fun.id;
+    co_n = n;
+    co_warps = float_of_int ((n + 31) / 32);
+    co_launch = launch;
+    co_pool = ref [];
+    co_pool_mu = Mutex.create ();
+  }
+
+(* --- memoization: one plan per (kernel, launch) pair --- *)
+
+let memo : (string, (code, string) result) Hashtbl.t = Hashtbl.create 32
+let memo_mutex = Mutex.create ()
+let memo_max = 128
+
+(* The digest key walks and pretty-prints the whole kernel — measurable
+   per-run overhead for small grids, where one [Launch.run] is tens of
+   microseconds. One identity-keyed entry in front of it serves the
+   common run-same-kernel-again case without hashing anything. *)
+let last : (Ast.kernel * Ast.launch * (code, string) result) option ref =
+  ref None
+
+(** Compile a kernel for a launch, memoized by the analysis-cache digest
+    of both (plus a physical-identity fast path for the last pair).
+    Returns [Error reason] when the kernel uses a shape this backend
+    does not support (the caller falls back). *)
+let compile (k : Ast.kernel) (launch : Ast.launch) : (code, string) result =
+  Mutex.lock memo_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_mutex)
+    (fun () ->
+      match !last with
+      | Some (k', launch', r) when k' == k && launch' = launch -> r
+      | _ ->
+          let key = "vec:" ^ Analysis_cache.key k launch in
+          let r =
+            match Hashtbl.find_opt memo key with
+            | Some r -> r
+            | None ->
+                let r =
+                  try Ok (compile_uncached k launch) with
+                  | Unsupported msg -> Error msg
+                  | e -> Error (Printexc.to_string e)
+                in
+                if Hashtbl.length memo >= memo_max then Hashtbl.reset memo;
+                Hashtbl.add memo key r;
+                r
+          in
+          last := Some (k, launch, r);
+          r)
+
+(* --- per-run preparation and per-block state --- *)
+
+type prepared = { p_code : code; p_globals : Devmem.arr array }
+
+let prepare (code : code) (mem : Devmem.t) : prepared =
+  let globals =
+    Array.map
+      (fun (name, strides) ->
+        match Devmem.find mem name with
+        | None -> unsupported "array %s not allocated" name
+        | Some arr ->
+            if arr.Devmem.strides <> strides then
+              unsupported "layout mismatch for %s" name;
+            arr)
+      code.co_globals
+  in
+  { p_code = code; p_globals = globals }
+
+(* shared, never-mutated placeholders: vector code neither reads nor
+   writes the reference environment or the race-check shadow state *)
+let dummy_env : (string, Interp.entry) Hashtbl.t = Hashtbl.create 1
+let dummy_shadow : (string, Interp.shadow) Hashtbl.t = Hashtbl.create 1
+
+let init_tid_planes (code : code) (rt : vrt) ~(bidx : int) ~(bidy : int) :
+    unit =
+  let n = code.co_n in
+  List.iter
+    (fun (b, pl) ->
+      let o = pl * n in
+      let bx = code.co_launch.block_x in
+      match b with
+      | Ast.Tidx ->
+          for l = 0 to n - 1 do
+            rt.ip.(o + l) <- l mod bx
+          done
+      | Ast.Tidy ->
+          for l = 0 to n - 1 do
+            rt.ip.(o + l) <- l / bx
+          done
+      | Ast.Idx ->
+          for l = 0 to n - 1 do
+            rt.ip.(o + l) <- (bidx * bx) + (l mod bx)
+          done
+      | Ast.Idy ->
+          for l = 0 to n - 1 do
+            rt.ip.(o + l) <- (bidy * code.co_launch.block_y) + (l / bx)
+          done
+      | _ -> assert false)
+    code.co_tid_planes
+
+let fresh_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
+    ~(record_tx : bool) ~(bidx : int) ~(bidy : int) : vrt =
+  let code = p.p_code in
+  let n = code.co_n in
+  let c : Interp.bctx =
+    {
+      cfg;
+      stats;
+      launch = code.co_launch;
+      n;
+      warps = code.co_warps;
+      tidx = code.co_tidx;
+      tidy = code.co_tidy;
+      bidx;
+      bidy;
+      env = dummy_env;
+      record_tx;
+      txparts = [];
+      check = false;
+      epoch = 1;
+      shadow = dummy_shadow;
+    }
+  in
+  let rt =
+    {
+      c;
+      n;
+      fp = Devmem.falloc (max 1 (code.co_nf * n));
+      ip = Array.make (max 1 (code.co_ni * n)) 0;
+      shareds = Array.map Devmem.falloc code.co_shared_lens;
+      globals = p.p_globals;
+      uregs = Array.make (max 1 code.co_nuregs) 0;
+      hw_addrs = Array.make 16 0;
+      site_rel = Array.make (max 1 code.co_nsites) min_int;
+      site_stride = Array.make (max 1 code.co_nsites) 0;
+      site_ntx = Array.make (max 1 code.co_nsites) 0;
+      site_bytes = Array.make (max 1 code.co_nsites) 0;
+      site_txs = Array.make (max 1 code.co_nsites) [||];
+      site_sh_stride = Array.make (max 1 code.co_nsites) min_int;
+      site_sh_cost = Array.make (max 1 code.co_nsites) 0;
+      sh_counts = Array.make (max 1 cfg.Config.shared_banks) 0;
+      tx_buf = Array.make 32 0;
+      seg_s = Array.make 16 0;
+      seg_lo = Array.make 16 0;
+      seg_hi = Array.make 16 0;
+      site_hits = 0;
+    }
+  in
+  init_tid_planes code rt ~bidx ~bidy;
+  rt
+
+(** Re-initialize an existing block state for a new block of the {e same}
+    prepared code, reusing every plane and scratch array. Shared arrays
+    are re-zeroed (fresh per block in the reference) and tid planes are
+    refilled; float/int planes carry stale lanes, which is sound because
+    every declared scalar re-zeroes its planes at its [Decl] and every
+    temporary is written before it is read. The per-site stride caches
+    carry over — they are keyed by access pattern, not block id. *)
+let remake_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
+    ~(record_tx : bool) ~(bidx : int) ~(bidy : int) (old : vrt) : vrt =
+  let code = p.p_code in
+  let n = code.co_n in
+  let c : Interp.bctx =
+    {
+      cfg;
+      stats;
+      launch = code.co_launch;
+      n;
+      warps = code.co_warps;
+      tidx = code.co_tidx;
+      tidy = code.co_tidy;
+      bidx;
+      bidy;
+      env = dummy_env;
+      record_tx;
+      txparts = [];
+      check = false;
+      epoch = 1;
+      shadow = dummy_shadow;
+    }
+  in
+  Array.iter (fun sh -> Bigarray.Array1.fill sh 0.0) old.shareds;
+  Array.fill old.uregs 0 (Array.length old.uregs) 0;
+  let rt = { old with c; globals = p.p_globals; site_hits = 0 } in
+  init_tid_planes code rt ~bidx ~bidy;
+  rt
+
+let pool_cap = 128
+
+(** Return a finished block's state to its code's reuse pool so the next
+    {!make_block} for the same code skips the plane allocations. Callers
+    must be done with the block: its transaction stream has been read and
+    device memory will not be checked against it again. *)
+let retire (p : prepared) (rt : vrt) : unit =
+  let code = p.p_code in
+  Mutex.lock code.co_pool_mu;
+  if List.length !(code.co_pool) < pool_cap then
+    code.co_pool := rt :: !(code.co_pool);
+  Mutex.unlock code.co_pool_mu
+
+let make_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
+    ~(record_tx : bool) ~(bidx : int) ~(bidy : int) : vrt =
+  let code = p.p_code in
+  let reused =
+    Mutex.lock code.co_pool_mu;
+    let r =
+      match !(code.co_pool) with
+      | rt :: rest
+        when Array.length rt.sh_counts = max 1 cfg.Config.shared_banks ->
+          code.co_pool := rest;
+          Some rt
+      | _ -> None
+    in
+    Mutex.unlock code.co_pool_mu;
+    r
+  in
+  match reused with
+  | Some old ->
+      (* the per-site transaction caches are only valid under the
+         coalescing rules they were filled with *)
+      if old.c.Interp.cfg != cfg && old.c.Interp.cfg <> cfg then begin
+        Array.fill old.site_rel 0 (Array.length old.site_rel) min_int;
+        Array.fill old.site_sh_stride 0
+          (Array.length old.site_sh_stride)
+          min_int
+      end;
+      remake_block p cfg stats ~record_tx ~bidx ~bidy old
+  | None -> fresh_block p cfg stats ~record_tx ~bidx ~bidy
+
+let nphases (code : code) = Array.length code.co_phases
+
+(** Execute one phase of the kernel over one block, like
+    {!Interp.run_block} on the corresponding phase body. *)
+let run_phase (p : prepared) (rt : vrt) (i : int) : unit =
+  rt.c.Interp.epoch <- rt.c.Interp.epoch + 1;
+  p.p_code.co_phases.(i) rt p.p_code.co_full_mask;
+  if rt.site_hits > 0 then begin
+    Coalescer.bump_hits rt.site_hits;
+    rt.site_hits <- 0
+  end
+
+(* --- fallback accounting (for tests and the bench harness) --- *)
+
+let fallbacks = Atomic.make 0
+let note_fallback () = Atomic.incr fallbacks
+let fallback_count () = Atomic.get fallbacks

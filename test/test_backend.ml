@@ -1,8 +1,10 @@
-(** Backend equivalence: the closure-compiled simulator backend must be
-    bit-identical to the tree-walking reference interpreter — output
-    arrays and every {!Gpcc_sim.Stats} field — on every registry
-    workload, naive and optimized, in Full and Sampled modes; and
-    parallel grid execution must reproduce serial execution exactly. *)
+(** Backend equivalence: the closure-compiled and warp-vectorized
+    simulator backends must be bit-identical to the tree-walking
+    reference interpreter — output arrays, every {!Gpcc_sim.Stats}
+    field, and the derived {!Gpcc_sim.Timing} estimate — on every
+    registry workload, naive and optimized, in Full and Sampled modes,
+    and on a seeded corpus of random fuzz kernels; parallel grid
+    execution must reproduce serial execution exactly. *)
 
 open Util
 module W = Gpcc_workloads.Workload
@@ -25,6 +27,15 @@ let stats_fields (s : S.t) =
     ("syncs", s.S.syncs);
     ("divergent_branches", s.S.divergent_branches);
     ("loads_in_flight", s.S.loads_in_flight);
+  ]
+
+let timing_fields (t : Gpcc_sim.Timing.result) =
+  [
+    ("cycles", t.cycles);
+    ("time_ms", t.time_ms);
+    ("gflops", t.gflops);
+    ("bandwidth_gbs", t.bandwidth_gbs);
+    ("timing_partition_eff", t.partition_eff);
   ]
 
 let global_arrays (k : Gpcc_ast.Ast.kernel) =
@@ -62,6 +73,15 @@ let bit_identical label ((ra : L.result), oa) ((rb : L.result), ob) =
   if compare ra.L.partition_eff rb.L.partition_eff <> 0 then
     Alcotest.failf "%s: partition_eff %.17g <> %.17g" label ra.L.partition_eff
       rb.L.partition_eff;
+  List.iter2
+    (fun (f, x) (_, y) ->
+      if compare x y <> 0 then
+        Alcotest.failf "%s: timing field %s: %.17g <> %.17g" label f x y)
+    (timing_fields ra.L.timing) (timing_fields rb.L.timing);
+  Alcotest.(check string) (label ^ " timing bound") ra.L.timing.bound
+    rb.L.timing.bound;
+  Alcotest.(check int) (label ^ " timing waves") ra.L.timing.waves
+    rb.L.timing.waves;
   Alcotest.(check int) (label ^ " sampled_blocks") ra.L.sampled_blocks
     rb.L.sampled_blocks
 
@@ -91,6 +111,107 @@ let test_compiled_matches_reference () =
             [ ("full", L.Full); ("sampled", L.Sampled 4) ])
         (kernels_of w n))
     Gpcc_workloads.Registry.all
+
+let test_vector_matches_reference () =
+  List.iter
+    (fun (w : W.t) ->
+      let n = w.W.test_size in
+      List.iter
+        (fun (label, k, launch) ->
+          List.iter
+            (fun (mname, mode) ->
+              let fb0 = Gpcc_sim.Vector.fallback_count () in
+              let rr = exec ~backend:L.Reference ~jobs:1 ~mode w n k launch in
+              let rv = exec ~backend:L.Vector ~jobs:1 ~mode w n k launch in
+              Alcotest.(check int)
+                (label ^ "/" ^ mname ^ " vector without fallback")
+                fb0
+                (Gpcc_sim.Vector.fallback_count ());
+              bit_identical (label ^ "/" ^ mname ^ " vector") rr rv)
+            [ ("full", L.Full); ("sampled", L.Sampled 4) ])
+        (kernels_of w n))
+    Gpcc_workloads.Registry.all
+
+(** Seeded random-kernel corpus: the vector backend must agree with the
+    reference bit-for-bit on generated kernels too (reduction loops,
+    guards, stencils — shapes the registry does not cover), both naive
+    and after the optimization pipeline. *)
+let test_vector_fuzz_corpus () =
+  let exec_kernel ~backend k launch =
+    let mem = Gpcc_sim.Devmem.of_kernel k in
+    List.iter
+      (fun (name, d) -> Gpcc_sim.Devmem.write mem name d)
+      Test_fuzz.inputs;
+    let r = L.run ~mode:L.Full ~backend ~jobs:1 cfg280 k launch mem in
+    (r, List.map (fun a -> (a, Gpcc_sim.Devmem.read mem a)) (global_arrays k))
+  in
+  for i = 0 to 19 do
+    let rand = Random.State.make [| 0x5eed; i |] in
+    let spec = QCheck.Gen.generate1 ~rand Test_fuzz.gen_spec in
+    let src = Test_fuzz.source_of_spec spec in
+    let k = parse_kernel src in
+    let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
+    let label = Printf.sprintf "fuzz[%d]" i in
+    let rr = exec_kernel ~backend:L.Reference k launch in
+    let rv = exec_kernel ~backend:L.Vector k launch in
+    bit_identical label rr rv;
+    if i < 6 then begin
+      (* a few optimized variants: tiled/merged/unrolled shapes *)
+      let r = compile ~verify:false k in
+      let ro = exec_kernel ~backend:L.Reference r.kernel r.launch in
+      let vo = exec_kernel ~backend:L.Vector r.kernel r.launch in
+      bit_identical (label ^ "/opt") ro vo
+    end
+  done
+
+(** Wide-vectorized kernels (float2/float4 accesses, the AMD target's
+    shape) exercise the vector backend's multi-component planes, which
+    the registry's optimized GTX kernels do not. *)
+let test_vector_wide_vectors () =
+  let w = Gpcc_workloads.Registry.find_exn "vv" in
+  let n = w.W.test_size in
+  let k = W.parse w n in
+  List.iter
+    (fun width ->
+      let launch = Option.get (Gpcc_passes.Pass_util.initial_launch k) in
+      let o = Gpcc_passes.Vectorize_wide.apply ~width k launch in
+      Alcotest.(check bool) "wide vectorize fired" true o.fired;
+      let label = Printf.sprintf "vv/float%d" width in
+      let rr =
+        exec ~backend:L.Reference ~jobs:1 ~mode:L.Full w n o.kernel o.launch
+      in
+      let rv =
+        exec ~backend:L.Vector ~jobs:1 ~mode:L.Full w n o.kernel o.launch
+      in
+      bit_identical label rr rv)
+    [ 2; 4 ]
+
+(** [GPCC_CHECK=1] must win over the vector backend selection: the
+    dynamic race checker only sees accesses made by the serial reference
+    interpreter, so a checked run of a barrier-heavy shared-memory
+    kernel must fall through to it (and come back clean) even when the
+    environment asks for the vector backend. *)
+let test_vector_check_run () =
+  let tp = Gpcc_workloads.Registry.find_exn "tp" in
+  let n = tp.W.test_size in
+  let k, launch = Gpcc_workloads.Sdk_transpose.new_ n in
+  let plain = exec ~backend:L.Reference ~jobs:1 ~mode:L.Full tp n k launch in
+  Unix.putenv "GPCC_BACKEND" "vector";
+  Unix.putenv "GPCC_CHECK" "1";
+  let checked =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "GPCC_CHECK" "0";
+        Unix.putenv "GPCC_BACKEND" "vector")
+      (fun () ->
+        let mem = Gpcc_sim.Devmem.of_kernel k in
+        List.iter
+          (fun (name, d) -> Gpcc_sim.Devmem.write mem name d)
+          (tp.W.inputs n);
+        let r = L.run ~mode:L.Full cfg280 k launch mem in
+        (r, List.map (fun a -> (a, Gpcc_sim.Devmem.read mem a)) (global_arrays k)))
+  in
+  bit_identical "sdk_transpose GPCC_CHECK" plain checked
 
 let test_parallel_matches_serial () =
   List.iter
@@ -122,19 +243,42 @@ let test_parallel_reference_matches_serial () =
     (kernels_of w n)
 
 let test_backend_of_env () =
-  let set v = Unix.putenv "GPCC_INTERP" v in
-  set "ref";
-  Alcotest.(check string) "ref" "reference" (L.backend_name (L.backend_of_env ()));
-  set "reference";
-  Alcotest.(check string)
-    "reference" "reference"
-    (L.backend_name (L.backend_of_env ()));
-  set "compiled";
-  Alcotest.(check string) "compiled" "compiled"
-    (L.backend_name (L.backend_of_env ()));
-  set "";
-  Alcotest.(check string) "default" "compiled"
-    (L.backend_name (L.backend_of_env ()))
+  let bset v = Unix.putenv "GPCC_BACKEND" v in
+  let iset v = Unix.putenv "GPCC_INTERP" v in
+  let got () = L.backend_name (L.backend_of_env ()) in
+  (* the unset-everything default is [vector]; [putenv] cannot unset, so
+     only observable when the process environment left both unset *)
+  if
+    Sys.getenv_opt "GPCC_BACKEND" = None
+    && Sys.getenv_opt "GPCC_INTERP" = None
+  then Alcotest.(check string) "default" "vector" (got ());
+  List.iter
+    (fun (v, want) ->
+      bset v;
+      Alcotest.(check string) ("GPCC_BACKEND=" ^ v) want (got ()))
+    [
+      ("vector", "vector");
+      ("vec", "vector");
+      ("compiled", "compiled");
+      ("compile", "compiled");
+      ("ref", "reference");
+      ("reference", "reference");
+    ];
+  (* the legacy GPCC_INTERP spelling still applies when GPCC_BACKEND is
+     unset or unrecognized *)
+  bset "";
+  List.iter
+    (fun (v, want) ->
+      iset v;
+      Alcotest.(check string) ("GPCC_INTERP=" ^ v) want (got ()))
+    [
+      ("ref", "reference");
+      ("reference", "reference");
+      ("compiled", "compiled");
+      ("", "compiled");
+    ];
+  (* leave the suite on the default backend *)
+  bset "vector"
 
 let test_unsupported_falls_back () =
   (* a float scalar parameter is outside the compiled subset: the run
@@ -165,8 +309,12 @@ let suite =
   ( "backend",
     [
       s "compiled == reference (bit-identical)" test_compiled_matches_reference;
+      s "vector == reference (bit-identical)" test_vector_matches_reference;
+      s "vector == reference on fuzz corpus" test_vector_fuzz_corpus;
+      q "vector == reference on float2/float4" test_vector_wide_vectors;
+      q "GPCC_CHECK wins over vector selection" test_vector_check_run;
       s "parallel Full == serial Full" test_parallel_matches_serial;
       s "reference parallel == serial" test_parallel_reference_matches_serial;
-      q "GPCC_INTERP selection" test_backend_of_env;
+      q "GPCC_BACKEND/GPCC_INTERP selection" test_backend_of_env;
       q "unsupported kernels fall back" test_unsupported_falls_back;
     ] )

@@ -21,7 +21,7 @@ let test_devmem_roundtrip () =
   (* padded pitch: logical row 1 starts at padded offset 16 *)
   let a = Devmem.find_exn mem "a" in
   Alcotest.(check int) "padded offset" 16 (Devmem.offset a [ 1; 0 ]);
-  Alcotest.(check (float 0.0)) "padded storage" 10.0 a.Devmem.data.(16)
+  Alcotest.(check (float 0.0)) "padded storage" 10.0 a.Devmem.data.{16}
 
 let test_devmem_bases_aligned () =
   let k =
