@@ -1013,9 +1013,9 @@ let sections =
     clock, the worker-pool size and the exploration-cache traffic (hit
     and miss deltas over this section). *)
 let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
-    ~analysis_misses ~coalescer_hits ~coalescer_misses ~store_hits
-    ~store_misses ~store_evictions ~verify_wall_s ~sym_proofs
-    ~concrete_fallbacks ~rows =
+    ~analysis_misses ~coalescer_hits ~coalescer_misses ~plane_hits
+    ~plane_misses ~closed_form ~store_hits ~store_misses ~store_evictions
+    ~verify_wall_s ~sym_proofs ~concrete_fallbacks ~rows =
   let cache_fields =
     (if Lazy.is_val explore_cache then
        let c = Lazy.force explore_cache in
@@ -1035,6 +1035,12 @@ let emit_json ~name ~wall_s ~sim_s ~hits ~misses ~analysis_hits
            per half-warp request), aggregated across worker domains *)
         ("coalescer_memo_hits", Json_out.Int coalescer_hits);
         ("coalescer_memo_misses", Json_out.Int coalescer_misses);
+        (* plane-granularity accounting: whole access planes resolved
+           against the plane-digest memo, and loop iterations credited
+           in closed form without touching the memo at all *)
+        ("coalescer_plane_hits", Json_out.Int plane_hits);
+        ("coalescer_plane_misses", Json_out.Int plane_misses);
+        ("closed_form_credits", Json_out.Int closed_form);
         (* the shared artifact store (scores, verdicts, bundles),
            aggregated across every handle and domain *)
         ("store_hits", Json_out.Int store_hits);
@@ -1122,8 +1128,7 @@ let () =
           let hits0, misses0 = cache_traffic () in
           let ahits0 = Gpcc_analysis.Analysis_cache.global_hits ()
           and amisses0 = Gpcc_analysis.Analysis_cache.global_misses () in
-          let chits0 = Gpcc_sim.Coalescer.memo_hits ()
-          and cmisses0 = Gpcc_sim.Coalescer.memo_misses () in
+          let pc0 = Gpcc_sim.Launch.perf_counters () in
           let shits0 = Gpcc_util.Store.global_hits ()
           and smisses0 = Gpcc_util.Store.global_misses ()
           and sevict0 = Gpcc_util.Store.global_evictions () in
@@ -1138,6 +1143,7 @@ let () =
           let finish () =
             let wall_s = Unix.gettimeofday () -. t0 in
             let hits1, misses1 = cache_traffic () in
+            let pc1 = Gpcc_sim.Launch.perf_counters () in
             emit_json ~name ~wall_s
               ~sim_s:(Gpcc_sim.Launch.sim_seconds () -. sim0)
               ~hits:(hits1 - hits0)
@@ -1145,8 +1151,16 @@ let () =
               ~analysis_hits:(Gpcc_analysis.Analysis_cache.global_hits () - ahits0)
               ~analysis_misses:
                 (Gpcc_analysis.Analysis_cache.global_misses () - amisses0)
-              ~coalescer_hits:(Gpcc_sim.Coalescer.memo_hits () - chits0)
-              ~coalescer_misses:(Gpcc_sim.Coalescer.memo_misses () - cmisses0)
+              ~coalescer_hits:
+                Gpcc_sim.Launch.(pc1.pc_memo_hits - pc0.pc_memo_hits)
+              ~coalescer_misses:
+                Gpcc_sim.Launch.(pc1.pc_memo_misses - pc0.pc_memo_misses)
+              ~plane_hits:
+                Gpcc_sim.Launch.(pc1.pc_plane_hits - pc0.pc_plane_hits)
+              ~plane_misses:
+                Gpcc_sim.Launch.(pc1.pc_plane_misses - pc0.pc_plane_misses)
+              ~closed_form:
+                Gpcc_sim.Launch.(pc1.pc_closed_form - pc0.pc_closed_form)
               ~store_hits:(Gpcc_util.Store.global_hits () - shits0)
               ~store_misses:(Gpcc_util.Store.global_misses () - smisses0)
               ~store_evictions:(Gpcc_util.Store.global_evictions () - sevict0)

@@ -30,4 +30,11 @@ let () =
   done;
   Printf.printf "%s %s: %.3f s for %d reps\n" wname Sys.argv.(2)
     (Unix.gettimeofday () -. t0)
-    reps
+    reps;
+  let pc = Gpcc_sim.Launch.perf_counters () in
+  Printf.printf
+    "  request memo %d hits / %d misses, plane memo %d hits / %d misses, \
+     closed-form credits %d\n"
+    pc.Gpcc_sim.Launch.pc_memo_hits pc.Gpcc_sim.Launch.pc_memo_misses
+    pc.Gpcc_sim.Launch.pc_plane_hits pc.Gpcc_sim.Launch.pc_plane_misses
+    pc.Gpcc_sim.Launch.pc_closed_form

@@ -105,37 +105,91 @@ let shared_request ~(banks : int) (word_addrs : int list) : int =
    request digest of (rules, widths, lanes, addresses mod granularity)
    keys a cache that turns the per-block recomputation of identical
    access patterns into one table lookup. Absolute transaction
-   addresses are NOT shift-invariant, so partition-stream recording
-   ([record_tx]) must bypass this path. *)
+   addresses are NOT shift-invariant, but their offsets relative to the
+   first lane's address ARE, so the plane digests below carry a
+   relative layout that recording callers replay against the live base
+   address. *)
 
+(** Cost digest for one full access plane (every half-warp of a block's
+    lanes at one memory site). [pd_hw] holds (ntx, bytes) per half-warp
+    group in ascending order; [pd_layout] holds (offset-from-first-lane-
+    address, bytes) per transaction, concatenated in the exact order the
+    reference backend emits them, so partition-stream recording can be
+    replayed against any live base address. *)
+type plane_digest = {
+  pd_nhw : int;
+  pd_hw : int array;  (** 2*nhw: per-group transactions, bytes *)
+  pd_layout : int array;  (** 2*ntx: per-tx offset from lane-0 addr, bytes *)
+  pd_ntx : int;  (** total transactions across the plane *)
+  pd_bytes : int;  (** total bytes across the plane *)
+}
+
+(* Per-domain memo state. Both tables use a two-generation scheme: a
+   lookup probes the live generation then the previous one (promoting
+   survivors), and filling the live generation retires the previous one
+   wholesale instead of wiping everything — steady-state workloads keep
+   their hot entries across the flip instead of cold-restarting. *)
 type mstate = {
-  tbl : (int array, int * int) Hashtbl.t;
+  mutable tbl : (int array, int * int) Hashtbl.t;
+  mutable tbl_old : (int array, int * int) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable ptbl : (int array, plane_digest) Hashtbl.t;
+  mutable ptbl_old : (int array, plane_digest) Hashtbl.t;
+  mutable phits : int;
+  mutable pmisses : int;
 }
 
 let memo_mutex = Mutex.create ()
 
 (* one state per worker domain (no lock on the hot path); the registry
-   is only touched on domain-first-use and by the counter readers *)
+   is only touched on domain-first-use, on domain exit and by the
+   counter readers. Counters of exited domains are folded into the
+   retired_* aggregates so the live list stays bounded by the number of
+   running domains rather than growing across pool recreations. *)
 let memo_states : mstate list ref = ref []
+let retired_hits = ref 0
+let retired_misses = ref 0
+let retired_phits = ref 0
+let retired_pmisses = ref 0
 
 let memo_state : mstate Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      let s = { tbl = Hashtbl.create 256; hits = 0; misses = 0 } in
+      let s =
+        {
+          tbl = Hashtbl.create 256;
+          tbl_old = Hashtbl.create 16;
+          hits = 0;
+          misses = 0;
+          ptbl = Hashtbl.create 64;
+          ptbl_old = Hashtbl.create 16;
+          phits = 0;
+          pmisses = 0;
+        }
+      in
       Mutex.lock memo_mutex;
       memo_states := s :: !memo_states;
       Mutex.unlock memo_mutex;
+      Domain.at_exit (fun () ->
+          Mutex.lock memo_mutex;
+          retired_hits := !retired_hits + s.hits;
+          retired_misses := !retired_misses + s.misses;
+          retired_phits := !retired_phits + s.phits;
+          retired_pmisses := !retired_pmisses + s.pmisses;
+          memo_states := List.filter (fun s' -> s' != s) !memo_states;
+          Mutex.unlock memo_mutex);
       s)
 
-let sum_states f =
+let sum_states retired f =
   Mutex.lock memo_mutex;
-  let v = List.fold_left (fun acc s -> acc + f s) 0 !memo_states in
+  let v = List.fold_left (fun acc s -> acc + f s) !retired !memo_states in
   Mutex.unlock memo_mutex;
   v
 
-let memo_hits () = sum_states (fun s -> s.hits)
-let memo_misses () = sum_states (fun s -> s.misses)
+let memo_hits () = sum_states retired_hits (fun s -> s.hits)
+let memo_misses () = sum_states retired_misses (fun s -> s.misses)
+let plane_memo_hits () = sum_states retired_phits (fun s -> s.phits)
+let plane_memo_misses () = sum_states retired_pmisses (fun s -> s.pmisses)
 
 (** Credit [n] hits taken by a caller-side cache layered over this memo
     (the vector backend's per-site stride cache). *)
@@ -143,18 +197,50 @@ let bump_hits n =
   let st = Domain.DLS.get memo_state in
   st.hits <- st.hits + n
 
-(* patterns per launch are few (tens); the cap only guards degenerate
-   address soups from e.g. fuzzed kernels *)
-let memo_max = 8192
+(** Same, for caller-side caches layered over the plane memo (the
+    vector backend's per-site digest cache and closed-form replays). *)
+let bump_plane_hits n =
+  let st = Domain.DLS.get memo_state in
+  st.phits <- st.phits + n
+
+(* patterns per launch are few (tens); the caps only guard degenerate
+   address soups from e.g. fuzzed kernels. Each table holds up to
+   [gen_max] entries per generation, so the steady-state footprint is
+   bounded by 2*gen_max while hot entries survive generation flips. *)
+let gen_max = 4096
+let plane_gen_max = 4096
+
+(* generic two-generation lookup/insert over the pair of tables held by
+   [get]/[set] accessors; [compute] runs only on a double miss *)
+let two_gen_find st ~live ~old ~flip ~hit ~miss key compute =
+  match Hashtbl.find_opt (live st) key with
+  | Some r ->
+      hit st;
+      r
+  | None -> (
+      match Hashtbl.find_opt (old st) key with
+      | Some r ->
+          (* survivor: promote into the live generation *)
+          hit st;
+          flip st;
+          Hashtbl.add (live st) key r;
+          r
+      | None ->
+          miss st;
+          let r = compute () in
+          flip st;
+          Hashtbl.add (live st) key r;
+          r)
+
+let memo_granularity ~min_tx ~elt_bytes =
+  let s = max 32 (16 * elt_bytes) in
+  if s mod min_tx = 0 then s else s * min_tx
 
 let request_cost (rules : Config.coalesce_rules) ~(min_tx : int)
     ~(elt_bytes : int) ~(lane0 : int) ~(cnt : int) (addrs : int array) :
     int * int =
   let st = Domain.DLS.get memo_state in
-  let g =
-    let s = max 32 (16 * elt_bytes) in
-    if s mod min_tx = 0 then s else s * min_tx
-  in
+  let g = memo_granularity ~min_tx ~elt_bytes in
   let amin = ref addrs.(0) in
   for t = 1 to cnt - 1 do
     if addrs.(t) < !amin then amin := addrs.(t)
@@ -169,18 +255,107 @@ let request_cost (rules : Config.coalesce_rules) ~(min_tx : int)
   for t = 0 to cnt - 1 do
     key.(5 + t) <- addrs.(t) - base
   done;
-  match Hashtbl.find_opt st.tbl key with
-  | Some r ->
-      st.hits <- st.hits + 1;
-      r
-  | None ->
-      st.misses <- st.misses + 1;
-      let pairs =
-        List.init cnt (fun t -> (lane0 + t, addrs.(t) - base))
-      in
+  two_gen_find st
+    ~live:(fun s -> s.tbl)
+    ~old:(fun s -> s.tbl_old)
+    ~flip:(fun s ->
+      if Hashtbl.length s.tbl >= gen_max then begin
+        s.tbl_old <- s.tbl;
+        s.tbl <- Hashtbl.create 256
+      end)
+    ~hit:(fun s -> s.hits <- s.hits + 1)
+    ~miss:(fun s -> s.misses <- s.misses + 1)
+    key
+    (fun () ->
+      let pairs = List.init cnt (fun t -> (lane0 + t, addrs.(t) - base)) in
       let txs = global_request rules ~min_tx ~elt_bytes pairs in
       let ntx = List.length txs in
       let bytes = List.fold_left (fun a t -> a + t.tx_bytes) 0 txs in
-      if Hashtbl.length st.tbl >= memo_max then Hashtbl.reset st.tbl;
-      Hashtbl.add st.tbl key (ntx, bytes);
-      (ntx, bytes)
+      (ntx, bytes))
+
+(* --- plane-granularity cost digests ---
+
+   A full-mask access plane whose lane addresses are segmented-strided —
+   a uniform byte stride [d] between consecutive lanes of a half-warp
+   group and a uniform delta [dd] between consecutive group base
+   addresses — is fully characterized, up to a shift by a multiple of
+   the memo granularity, by (rules, min_tx, elt_bytes, n, a0 mod g, d,
+   dd). That shape subsumes flat strides (dd = 16*d) and the dominant
+   2-D patterns (a[idy][k] has d = 0, dd = row pitch; b[k][idx] has
+   d = elt, dd = 0). The digest computed once per pattern carries both
+   per-group totals and the full transaction layout relative to the
+   first lane's address, so even partition-recording runs replay it
+   without re-forming transactions. *)
+
+let plane_cost (rules : Config.coalesce_rules) ~(min_tx : int)
+    ~(elt_bytes : int) ~(n : int) ~(rel0 : int) ~(d : int) ~(dd : int) :
+    plane_digest =
+  let st = Domain.DLS.get memo_state in
+  let key =
+    [|
+      (match rules with Config.Strict_g80 -> 0 | Config.Relaxed_gt200 -> 1);
+      min_tx;
+      elt_bytes;
+      n;
+      rel0;
+      d;
+      dd;
+    |]
+  in
+  two_gen_find st
+    ~live:(fun s -> s.ptbl)
+    ~old:(fun s -> s.ptbl_old)
+    ~flip:(fun s ->
+      if Hashtbl.length s.ptbl >= plane_gen_max then begin
+        s.ptbl_old <- s.ptbl;
+        s.ptbl <- Hashtbl.create 64
+      end)
+    ~hit:(fun s -> s.phits <- s.phits + 1)
+    ~miss:(fun s -> s.pmisses <- s.pmisses + 1)
+    key
+    (fun () ->
+      let g = memo_granularity ~min_tx ~elt_bytes in
+      let nhw = (n + 15) / 16 in
+      (* synthesize lane addresses from the pattern; negative strides can
+         drive synthetic addresses below zero where integer division no
+         longer floors, so lift everything by a multiple of g first (cost
+         and relative layout are invariant under that shift) *)
+      let amin = ref rel0 in
+      for q = 0 to nhw - 1 do
+        let cnt = min 16 (n - (16 * q)) in
+        let b = rel0 + (q * dd) in
+        let last = b + ((cnt - 1) * d) in
+        if b < !amin then amin := b;
+        if last < !amin then amin := last
+      done;
+      let lift = if !amin < 0 then (g - 1 - !amin) / g * g else 0 in
+      let a0 = rel0 + lift in
+      let hw = Array.make (2 * nhw) 0 in
+      let lay = ref [] in
+      let tot_tx = ref 0 and tot_bytes = ref 0 in
+      for q = 0 to nhw - 1 do
+        let cnt = min 16 (n - (16 * q)) in
+        let b = a0 + (q * dd) in
+        let pairs = List.init cnt (fun t -> (t, b + (t * d))) in
+        let txs = global_request rules ~min_tx ~elt_bytes pairs in
+        let ntx = List.length txs in
+        let bytes = List.fold_left (fun a t -> a + t.tx_bytes) 0 txs in
+        hw.(2 * q) <- ntx;
+        hw.((2 * q) + 1) <- bytes;
+        tot_tx := !tot_tx + ntx;
+        tot_bytes := !tot_bytes + bytes;
+        List.iter
+          (fun t -> lay := t.tx_bytes :: (t.tx_addr - a0) :: !lay)
+          txs
+      done;
+      {
+        pd_nhw = nhw;
+        pd_hw = hw;
+        pd_layout = Array.of_list (List.rev !lay);
+        pd_ntx = !tot_tx;
+        pd_bytes = !tot_bytes;
+      })
+
+(** Sentinel digest for unfilled per-site caches. *)
+let empty_digest =
+  { pd_nhw = 0; pd_hw = [||]; pd_layout = [||]; pd_ntx = 0; pd_bytes = 0 }

@@ -40,10 +40,57 @@ val request_cost :
   int array ->
   int * int
 
+(** Cost digest for one full access plane (every half-warp group of a
+    block's active lanes at one memory site). Per-group totals live in
+    [pd_hw] ((ntx, bytes) pairs, groups ascending); [pd_layout] holds
+    (offset-from-first-lane-address, bytes) per transaction in the exact
+    order the reference backend emits them, so partition-stream
+    recording replays against any live base address. *)
+type plane_digest = {
+  pd_nhw : int;  (** number of half-warp groups, [(n+15)/16] *)
+  pd_hw : int array;  (** [2*pd_nhw]: per-group transactions, bytes *)
+  pd_layout : int array;  (** [2*pd_ntx]: per-tx offset from lane 0, bytes *)
+  pd_ntx : int;  (** total transactions across the plane *)
+  pd_bytes : int;  (** total bytes across the plane *)
+}
+
+(** Memoized digest of a segmented-strided access plane of [n] lanes:
+    half-warp group [q] covers lanes [16q .. 16q+cnt-1] whose byte
+    addresses are [a0 + q*dd + t*d]; [rel0] is [a0] reduced modulo the
+    memo granularity (in [0, g)). Both cost totals and the relative
+    transaction layout are shift-invariant, so one digest serves every
+    base address congruent to [rel0]. *)
+val plane_cost :
+  Config.coalesce_rules ->
+  min_tx:int ->
+  elt_bytes:int ->
+  n:int ->
+  rel0:int ->
+  d:int ->
+  dd:int ->
+  plane_digest
+
+val empty_digest : plane_digest
+(** Sentinel for unfilled per-site digest caches (all fields zero). *)
+
+val memo_granularity : min_tx:int -> elt_bytes:int -> int
+(** The coarsest alignment the rules inspect: request cost and relative
+    layout are invariant under address shifts by multiples of this. *)
+
 val memo_hits : unit -> int
-(** Pattern-cache hits across every worker domain (bench reporting). *)
+(** Pattern-cache hits across every worker domain, including domains
+    that have since exited (bench reporting). *)
 
 val memo_misses : unit -> int
 
+val plane_memo_hits : unit -> int
+(** Plane-digest cache hits across every worker domain. *)
+
+val plane_memo_misses : unit -> int
+
 val bump_hits : int -> unit
 (** Credit hits taken by a caller-side cache layered over the memo. *)
+
+val bump_plane_hits : int -> unit
+(** Credit hits taken by a caller-side cache layered over the plane
+    memo (per-site digest caches, closed-form loop replays). *)

@@ -74,16 +74,45 @@ let offset (a : arr) (indices : int list) : int =
   List.iteri (fun d i -> acc := !acc + (i * a.strides.(d))) indices;
   !acc
 
-(** Iterate logical indices of a layout in row-major order. *)
-let iter_logical (lay : Layout.t) (f : int list -> unit) : unit =
-  let rec go prefix = function
-    | [] -> f (List.rev prefix)
-    | d :: rest ->
-        for i = 0 to d - 1 do
-          go (i :: prefix) rest
+(* Row-major copy between logical values and padded storage without
+   materializing an index list per element: offsets accumulate down the
+   dimensions and the innermost loop runs dense (strides of 1 are the
+   common unpadded case). [dir] true = values -> storage. *)
+let copy_logical (a : arr) (values : float array) ~(dir : bool) : unit =
+  let dims = Array.of_list a.lay.Layout.dims in
+  let nd = Array.length dims in
+  if nd = 0 then begin
+    if dir then a.data.{0} <- values.(0) else values.(0) <- a.data.{0}
+  end
+  else
+    let i = ref 0 in
+    let rec go d off =
+      let s = a.strides.(d) in
+      if d = nd - 1 then
+        if s = 1 then begin
+          let k = !i in
+          if dir then
+            for j = 0 to dims.(d) - 1 do
+              a.data.{off + j} <- values.(k + j)
+            done
+          else
+            for j = 0 to dims.(d) - 1 do
+              values.(k + j) <- a.data.{off + j}
+            done;
+          i := k + dims.(d)
+        end
+        else
+          for j = 0 to dims.(d) - 1 do
+            if dir then a.data.{off + (j * s)} <- values.(!i)
+            else values.(!i) <- a.data.{off + (j * s)};
+            incr i
+          done
+      else
+        for j = 0 to dims.(d) - 1 do
+          go (d + 1) (off + (j * s))
         done
-  in
-  go [] lay.Layout.dims
+    in
+    go 0 0
 
 (** Write a logical row-major float array into the padded storage. *)
 let write (t : t) name (values : float array) : unit =
@@ -93,20 +122,14 @@ let write (t : t) name (values : float array) : unit =
     invalid_arg
       (Printf.sprintf "Devmem.write %s: expected %d values, got %d" name
          logical_size (Array.length values));
-  let i = ref 0 in
-  iter_logical a.lay (fun idx ->
-      a.data.{offset a idx} <- values.(!i);
-      incr i)
+  copy_logical a values ~dir:true
 
 (** Read the logical row-major contents out of the padded storage. *)
 let read (t : t) name : float array =
   let a = find_exn t name in
   let logical_size = List.fold_left ( * ) 1 a.lay.Layout.dims in
   let out = Array.make logical_size 0.0 in
-  let i = ref 0 in
-  iter_logical a.lay (fun idx ->
-      out.(!i) <- a.data.{offset a idx};
-      incr i);
+  copy_logical a out ~dir:false;
   out
 
 let fill (t : t) name (f : int -> float) : unit =

@@ -96,20 +96,62 @@ let partition_efficiency (cfg : Config.t) (streams : int array list) : float =
     (* keep windows fully inside the streams so tails do not skew *)
     let t_max = max 1 (len - queue_window + 1) in
     let step = max 1 (t_max / 512) in
+    (* sliding multiset of the partitions inside the current window:
+       [live] is the distinct count the old per-slice rescan computed,
+       maintained incrementally so a slide costs O(step · streams)
+       instead of O(window · streams) and allocates nothing *)
+    let counts = Array.make cfg.num_partitions 0 in
+    let live = ref 0 in
+    let add p =
+      let c = counts.(p) in
+      counts.(p) <- c + 1;
+      if c = 0 then incr live
+    in
+    let rm p =
+      let c = counts.(p) - 1 in
+      counts.(p) <- c;
+      if c = 0 then decr live
+    in
+    let win_end t = min (len - 1) (t + queue_window - 1) in
+    List.iter
+      (fun st ->
+        for u = 0 to win_end 0 do
+          add st.(u)
+        done)
+      streams;
     let slices = ref 0 and acc = ref 0.0 in
     let t = ref 0 in
-    while !t < t_max do
-      let seen = Array.make cfg.num_partitions false in
-      List.iter
-        (fun st ->
-          for u = !t to min (len - 1) (!t + queue_window - 1) do
-            seen.(st.(u)) <- true
-          done)
-        streams;
-      let distinct = Array.fold_left (fun n b -> if b then n + 1 else n) 0 seen in
-      acc := !acc +. (float_of_int distinct /. float_of_int denom);
+    let running = ref true in
+    while !running do
+      acc := !acc +. (float_of_int !live /. float_of_int denom);
       incr slices;
-      t := !t + step
+      let t' = !t + step in
+      if t' < t_max then begin
+        if step < queue_window then
+          (* windows overlap: retire the entries sliding out, admit the
+             ones sliding in (interior windows are never truncated) *)
+          List.iter
+            (fun st ->
+              for u = !t to t' - 1 do
+                rm st.(u)
+              done;
+              for u = win_end !t + 1 to win_end t' do
+                add st.(u)
+              done)
+            streams
+        else begin
+          Array.fill counts 0 (Array.length counts) 0;
+          live := 0;
+          List.iter
+            (fun st ->
+              for u = t' to win_end t' do
+                add st.(u)
+              done)
+            streams
+        end;
+        t := t'
+      end
+      else running := false
     done;
     if !slices = 0 then 1.0 else !acc /. float_of_int !slices
   end
@@ -181,6 +223,28 @@ let sim_seconds () =
   let t = !sim_total in
   Mutex.unlock sim_mutex;
   t
+
+(* --- cumulative accounting-cache counters --- *)
+
+type perf_counters = {
+  pc_memo_hits : int;
+  pc_memo_misses : int;
+  pc_plane_hits : int;
+  pc_plane_misses : int;
+  pc_closed_form : int;
+}
+
+(** One snapshot of every accounting-cache counter: the {!Coalescer}
+    request and plane memos (summed across worker domains, including
+    exited ones) and the vector backend's closed-form loop replays. *)
+let perf_counters () =
+  {
+    pc_memo_hits = Coalescer.memo_hits ();
+    pc_memo_misses = Coalescer.memo_misses ();
+    pc_plane_hits = Coalescer.plane_memo_hits ();
+    pc_plane_misses = Coalescer.plane_memo_misses ();
+    pc_closed_form = Vector.closed_form_credits ();
+  }
 
 (** Run a kernel. The caller is responsible for having bound every [int]
     parameter via [k_sizes] and allocated the arrays in [mem].

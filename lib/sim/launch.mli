@@ -44,6 +44,21 @@ val backend_of_env : unit -> backend
     start (the [sim_wall_clock_s] bench field). *)
 val sim_seconds : unit -> float
 
+(** Cumulative accounting-cache counters across every backend run and
+    worker domain since program start: the half-warp request memo, the
+    plane-digest memo (both in {!Coalescer}), and the vector backend's
+    closed-form uniform-loop replays. Read before/after a run to
+    attribute deltas (bench JSON, perf tooling, tests). *)
+type perf_counters = {
+  pc_memo_hits : int;
+  pc_memo_misses : int;
+  pc_plane_hits : int;
+  pc_plane_misses : int;
+  pc_closed_form : int;
+}
+
+val perf_counters : unit -> perf_counters
+
 (** Static memory-level-parallelism estimate (independent loads one warp
     keeps in flight), used by the timing model's latency term. *)
 val mlp_estimate : Gpcc_ast.Ast.kernel -> float

@@ -79,6 +79,27 @@ let add into t =
   into.divergent_branches <- into.divergent_branches +. t.divergent_branches;
   into.loads_in_flight <- Float.max into.loads_in_flight t.loads_in_flight
 
+(* the canonical field enumeration: differential tests compare backends
+   field by field, and bench tooling prints from the same list so a new
+   counter cannot be added to [t] without showing up everywhere *)
+let fields t =
+  [
+    ("warp_insts", t.warp_insts);
+    ("flops", t.flops);
+    ("gld_tx", t.gld_tx);
+    ("gst_tx", t.gst_tx);
+    ("gld_bytes", t.gld_bytes);
+    ("gst_bytes", t.gst_bytes);
+    ("cost_bytes", t.cost_bytes);
+    ("gld_requests", t.gld_requests);
+    ("gst_requests", t.gst_requests);
+    ("shared_ops", t.shared_ops);
+    ("bank_extra", t.bank_extra);
+    ("syncs", t.syncs);
+    ("divergent_branches", t.divergent_branches);
+    ("loads_in_flight", t.loads_in_flight);
+  ]
+
 let to_string t =
   Printf.sprintf
     "insts=%.0f flops=%.0f gld(tx=%.0f B=%.0f) gst(tx=%.0f B=%.0f) shared=%.0f+%.0f syncs=%.0f div=%.0f"

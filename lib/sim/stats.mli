@@ -24,4 +24,9 @@ val global_bytes : t -> float
 val global_tx : t -> float
 val scale : float -> t -> t
 val add : t -> t -> unit
+
+val fields : t -> (string * float) list
+(** Every counter as a (name, value) pair, in declaration order — the
+    canonical enumeration used by differential tests and bench output. *)
+
 val to_string : t -> string

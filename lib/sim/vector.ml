@@ -17,10 +17,15 @@
     same scalar [U*] channel as {!Compile}.
 
     Memory accounting is the same half-warp math as
-    {!Interp.account_global}, but full-mask requests go through
-    {!Coalescer.request_cost} — a per-domain pattern-digest memo — plus
-    a per-site one-entry stride cache for the steady unit/strided case,
-    so timing stops re-forming identical transactions for every block.
+    {!Interp.account_global}, but full-mask accesses are digested a
+    whole {e plane} at a time: one dense pass classifies the access as
+    segmented-strided and resolves it against {!Coalescer.plane_cost} —
+    a per-domain plane-granularity memo — fronted by a per-site
+    one-entry digest cache. Sites whose varying index is a tid plane
+    are {e stable}: the plane never changes inside a block and only
+    shifts uniformly across blocks, so uniform-loop iterations replay
+    the cached digest after an O(1) congruence check — the closed-form
+    loop credit — without walking any lane.
 
     Bit-identity with the reference interpreter is preserved the same
     way {!Compile} preserves it: identical float operations on identical
@@ -46,23 +51,32 @@ type vrt = {
   globals : Devmem.arr array;  (** resolved global parameters *)
   uregs : int array;  (** uniform int registers (loop variables) *)
   hw_addrs : int array;  (** 16-slot scratch for half-warp addresses *)
-  site_rel : int array;  (** per access site: last (addr mod g, stride) *)
-  site_stride : int array;
-  site_ntx : int array;
-  site_bytes : int array;
-  site_txs : int array array;
-      (** per site: cached transaction layout for the partition stream,
-          [off; bytes] pairs relative to the first lane address ([[||]]
-          when the entry was filled by a non-recording run) *)
-  site_sh_stride : int array;  (** per shared site: last word stride *)
-  site_sh_cost : int array;
+  pl_addrs : int array;  (** [n]-slot scratch for whole-plane addresses *)
+  site_a0 : int array;
+      (** per global site: lane-0 byte address the cached digest was
+          built against ([min_int] = no digest yet) *)
+  site_rel0 : int array;  (** per site: cached digest key, [a0 mod g] *)
+  site_d : int array;
+      (** per site: within-group byte stride of the cached digest
+          ([min_int] = invalid, [max_int] = irregular stable shape) *)
+  site_dd : int array;  (** per site: group-base delta of the digest *)
+  site_dig : Coalescer.plane_digest array;
+      (** per site: cached plane digest (totals + relative tx layout,
+          so partition-recording runs replay it too) *)
+  site_sh_d : int array;
+      (** per shared site: word stride of the cached plane totals
+          ([min_int] = invalid, [max_int] = irregular stable shape) *)
+  site_sh_extra : int array;
+      (** per shared site: total bank-conflict extra across the plane *)
   sh_counts : int array;  (** per-bank scratch, [cfg.shared_banks] slots *)
   tx_buf : int array;
       (** [addr; bytes] pairs of the last {!record_group}, 32 slots *)
   seg_s : int array;  (** 16-slot segment-formation scratch *)
   seg_lo : int array;
   seg_hi : int array;
-  mutable site_hits : int;  (** stride-cache hits, flushed per phase *)
+  mutable site_hits : int;  (** digest-cache hits, flushed per phase *)
+  mutable cf_credits : int;
+      (** closed-form loop replays, flushed per phase *)
 }
 
 let inst rt = Interp.inst rt.c
@@ -85,18 +99,28 @@ let[@inline] iset (a : int array) (i : int) (v : int) : unit =
 
 (* --- memory accounting ---
 
-   Same per-half-warp math and emission order as the reference; on the
-   full block mask the half warps are exactly the contiguous 16-lane
-   groups with lane0 = 0, so (transactions, bytes) come from the
-   memoized {!Coalescer.request_cost}, fronted by a per-site one-entry
-   cache keyed by (first address mod granularity, stride) — constant
-   across half warps and blocks for the steady strided patterns that
-   dominate real kernels. Partition-stream recording ([record_tx])
-   needs absolute transaction addresses, which are not shift-invariant;
-   but the transaction *offsets* from the first lane address are, so
-   the site cache also holds the layout and recording replays it
-   against the current base. Partial masks fall back to
-   {!Interp.account_global}. *)
+   Same per-half-warp math and emission order as the reference, but
+   batched a plane at a time on the full block mask: the half warps are
+   exactly the contiguous 16-lane groups with lane0 = 0, and one dense
+   pass classifies the plane as segmented-strided — uniform byte stride
+   [d] within each group, uniform delta [dd] between group bases, the
+   shape of every flat and 2-D affine access. Such a plane resolves
+   against {!Coalescer.plane_cost} (a per-domain memo of whole-plane
+   digests), fronted by a per-site one-entry cache, and the digest is
+   replayed with batched statistic adds instead of per-group work.
+   Partition-stream recording ([record_tx]) needs absolute transaction
+   addresses, which are not shift-invariant; but the transaction
+   *offsets* from the first lane address are, so digests carry the
+   layout and recording replays it against the current base.
+
+   Sites marked [stable] by the planner read their varying index from a
+   tid plane, whose contents never change inside a block and only shift
+   uniformly across blocks. Once such a site has a digest, a loop
+   iteration whose base moved by a multiple of the memo granularity
+   replays it after an O(1) congruence check — no lane walk at all.
+   That is the closed-form uniform-loop credit: the per-iteration cost
+   is computed once and re-applied per trip ([cf_credits] counts the
+   replays). Partial masks fall back to the per-group math. *)
 
 let width_eff (cfg : Config.t) ~(elt_bytes : int) =
   if elt_bytes >= 16 then cfg.Config.bw_efficiency_16b
@@ -120,9 +144,42 @@ let apply_hw (c : Interp.bctx) ~(is_store : bool) ~(weff : float) ntx bytes =
 
 (** Granularity below which the coalescing rules inspect addresses; see
     the memo note in {!Coalescer}. *)
-let memo_granularity ~(min_tx : int) ~(elt_bytes : int) =
-  let s = max 32 (16 * elt_bytes) in
-  if s mod min_tx = 0 then s else s * min_tx
+let memo_granularity = Coalescer.memo_granularity
+
+(** Closed-form loop replays across every block and domain; per-block
+    counts accumulate in [rt.cf_credits] and flush here per phase. *)
+let closed_form = Atomic.make 0
+
+let closed_form_credits () = Atomic.get closed_form
+
+(** Apply [reps] identical half-warp requests. The reference adds each
+    group's byte cost in sequence; when the width-efficiency divisor is
+    1 and the accumulator is still an exact integer, every partial sum
+    is an exact integer too, so one batched add per field is bitwise
+    identical. Otherwise fall back to the sequential loop. *)
+let apply_hw_n (c : Interp.bctx) ~(is_store : bool) ~(weff : float)
+    ~(reps : int) ntx bytes =
+  if reps > 0 then begin
+    let s = c.Interp.stats in
+    if weff = 1.0 && Float.is_integer s.Stats.cost_bytes then begin
+      let freps = float_of_int reps in
+      s.Stats.cost_bytes <- s.Stats.cost_bytes +. float_of_int (reps * bytes);
+      if is_store then begin
+        s.Stats.gst_tx <- s.Stats.gst_tx +. float_of_int (reps * ntx);
+        s.Stats.gst_bytes <- s.Stats.gst_bytes +. float_of_int (reps * bytes);
+        s.Stats.gst_requests <- s.Stats.gst_requests +. freps
+      end
+      else begin
+        s.Stats.gld_tx <- s.Stats.gld_tx +. float_of_int (reps * ntx);
+        s.Stats.gld_bytes <- s.Stats.gld_bytes +. float_of_int (reps * bytes);
+        s.Stats.gld_requests <- s.Stats.gld_requests +. freps
+      end
+    end
+    else
+      for _ = 1 to reps do
+        apply_hw c ~is_store ~weff ntx bytes
+      done
+  end
 
 (** Record one transaction's memory partition into the block's stream. *)
 let[@inline] record_part (c : Interp.bctx) (tx_addr : int) : unit =
@@ -271,11 +328,94 @@ let masked_group (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
       done);
   apply_hw c ~is_store ~weff !ntx !bytes
 
+(** Replay a plane digest against the live lane-0 address [a0]: record
+    the transaction layout when the partition stream is on, then apply
+    the whole plane's statistics. The byte-cost accumulator batches
+    into one add exactly when that is bitwise identical to the
+    reference's per-group sequence (see {!apply_hw_n}); the integer
+    counters always batch. *)
+let replay_digest (c : Interp.bctx) ~(is_store : bool) ~(weff : float)
+    ~(a0 : int) (dig : Coalescer.plane_digest) : unit =
+  if c.Interp.record_tx then begin
+    let lay = dig.Coalescer.pd_layout in
+    let nn = Array.length lay in
+    let q = ref 0 in
+    while !q < nn do
+      record_part c (a0 + lay.(!q));
+      q := !q + 2
+    done
+  end;
+  let s = c.Interp.stats in
+  (if weff = 1.0 && Float.is_integer s.Stats.cost_bytes then
+     s.Stats.cost_bytes <-
+       s.Stats.cost_bytes +. float_of_int dig.Coalescer.pd_bytes
+   else begin
+     let hw = dig.Coalescer.pd_hw in
+     for q = 0 to dig.Coalescer.pd_nhw - 1 do
+       s.Stats.cost_bytes <-
+         s.Stats.cost_bytes +. (float_of_int hw.((2 * q) + 1) /. weff)
+     done
+   end);
+  let ntx = float_of_int dig.Coalescer.pd_ntx in
+  let bytes = float_of_int dig.Coalescer.pd_bytes in
+  let reqs = float_of_int dig.Coalescer.pd_nhw in
+  if is_store then begin
+    s.Stats.gst_tx <- s.Stats.gst_tx +. ntx;
+    s.Stats.gst_bytes <- s.Stats.gst_bytes +. bytes;
+    s.Stats.gst_requests <- s.Stats.gst_requests +. reqs
+  end
+  else begin
+    s.Stats.gld_tx <- s.Stats.gld_tx +. ntx;
+    s.Stats.gld_bytes <- s.Stats.gld_bytes +. bytes;
+    s.Stats.gld_requests <- s.Stats.gld_requests +. reqs
+  end
+
+(** Digest the gathered addresses in [rt.pl_addrs] group by group, for
+    planes that are not segmented-strided but belong to a stable site:
+    the list-based formation cost is paid once per congruence class and
+    then replayed. Layout offsets are relative to [a0]. *)
+let digest_of_groups (rt : vrt) ~(elt_bytes : int) ~(a0 : int) :
+    Coalescer.plane_digest =
+  let cfg = rt.c.Interp.cfg in
+  let rules = cfg.Config.coalesce_rules in
+  let min_tx = cfg.Config.min_transaction_bytes in
+  let pl = rt.pl_addrs in
+  let n = rt.n in
+  let nhw = (n + 15) / 16 in
+  let hw = Array.make (2 * nhw) 0 in
+  let lay = ref [] in
+  let tot_tx = ref 0 and tot_bytes = ref 0 in
+  for q = 0 to nhw - 1 do
+    let cnt = min 16 (n - (16 * q)) in
+    let pairs = List.init cnt (fun t -> (t, pl.((16 * q) + t))) in
+    let txs = Coalescer.global_request rules ~min_tx ~elt_bytes pairs in
+    let ntx = List.length txs in
+    let bytes =
+      List.fold_left (fun a t -> a + t.Coalescer.tx_bytes) 0 txs
+    in
+    hw.(2 * q) <- ntx;
+    hw.((2 * q) + 1) <- bytes;
+    tot_tx := !tot_tx + ntx;
+    tot_bytes := !tot_bytes + bytes;
+    List.iter
+      (fun t ->
+        lay := t.Coalescer.tx_bytes :: (t.Coalescer.tx_addr - a0) :: !lay)
+      txs
+  done;
+  {
+    Coalescer.pd_nhw = nhw;
+    pd_hw = hw;
+    pd_layout = Array.of_list (List.rev !lay);
+    pd_ntx = !tot_tx;
+    pd_bytes = !tot_bytes;
+  }
+
 (** Account one global access whose lane byte address is
-    [base + ip.(po + l) * scale]. *)
+    [base + ip.(po + l) * scale]. [stable] marks sites whose varying
+    index is a tid plane (see the accounting note above). *)
 let account_plane (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
-    (m : int array) ~(po : int) ~(base : int) ~(scale : int) ~(site : int) :
-    unit =
+    ~(stable : bool) (m : int array) ~(po : int) ~(base : int)
+    ~(scale : int) ~(site : int) : unit =
   let c = rt.c in
   let ip = rt.ip in
   if Array.length m <> rt.n then begin
@@ -304,78 +444,121 @@ let account_plane (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
     let min_tx = cfg.Config.min_transaction_bytes in
     let weff = width_eff cfg ~elt_bytes in
     let g = memo_granularity ~min_tx ~elt_bytes in
-    let record = c.Interp.record_tx in
     let n = rt.n in
-    let addrs = rt.hw_addrs in
-    let i = ref 0 in
-    while !i < n do
-      let cnt = if n - !i < 16 then n - !i else 16 in
-      let a0 = base + (iget ip (po + !i) * scale) in
-      addrs.(0) <- a0;
-      let stride = ref 0 in
-      let strided = ref true in
-      for t = 1 to cnt - 1 do
-        let a = base + (iget ip (po + !i + t) * scale) in
-        addrs.(t) <- a;
-        let d = a - addrs.(t - 1) in
-        if t = 1 then stride := d else if d <> !stride then strided := false
-      done;
-      let cacheable = cnt = 16 && !strided in
-      let rel0 = if cacheable then a0 mod g else 0 in
-      let hit =
-        cacheable
-        && rt.site_rel.(site) = rel0
-        && rt.site_stride.(site) = !stride
-        && ((not record) || Array.length rt.site_txs.(site) > 0)
-      in
-      let ntx, bytes =
-        if hit then begin
-          rt.site_hits <- rt.site_hits + 1;
-          if record then begin
-            let lay = rt.site_txs.(site) in
-            let q = ref 0 in
-            let nn = Array.length lay in
-            while !q < nn do
-              record_part c (a0 + lay.(!q));
-              q := !q + 2
-            done
-          end;
-          (rt.site_ntx.(site), rt.site_bytes.(site))
-        end
-        else if record then begin
-          let ntx, bytes = record_group rt ~elt_bytes addrs cnt in
-          if cacheable then begin
-            let lay = Array.make (2 * ntx) 0 in
-            for qi = 0 to ntx - 1 do
-              lay.(2 * qi) <- rt.tx_buf.(2 * qi) - a0;
-              lay.((2 * qi) + 1) <- rt.tx_buf.((2 * qi) + 1)
-            done;
-            rt.site_rel.(site) <- rel0;
-            rt.site_stride.(site) <- !stride;
-            rt.site_ntx.(site) <- ntx;
-            rt.site_bytes.(site) <- bytes;
-            rt.site_txs.(site) <- lay
-          end;
-          (ntx, bytes)
+    let fast =
+      stable && rt.site_a0.(site) <> min_int
+      && begin
+           let a0 = base + (iget ip po * scale) in
+           if (a0 - rt.site_a0.(site)) mod g = 0 then begin
+             (* closed-form credit: same digest at a congruent base *)
+             rt.site_a0.(site) <- a0;
+             replay_digest c ~is_store ~weff ~a0 rt.site_dig.(site);
+             rt.cf_credits <- rt.cf_credits + 1;
+             true
+           end
+           else if rt.site_d.(site) <> min_int && rt.site_d.(site) <> max_int
+           then begin
+             (* the plane only ever shifts uniformly, so the cached
+                segmented shape holds at the new residue: fetch that
+                digest from the plane memo without walking any lane *)
+             let rel0 =
+               let r = a0 mod g in
+               if r < 0 then r + g else r
+             in
+             let dig =
+               Coalescer.plane_cost rules ~min_tx ~elt_bytes ~n ~rel0
+                 ~d:rt.site_d.(site) ~dd:rt.site_dd.(site)
+             in
+             rt.site_rel0.(site) <- rel0;
+             rt.site_a0.(site) <- a0;
+             rt.site_dig.(site) <- dig;
+             replay_digest c ~is_store ~weff ~a0 dig;
+             true
+           end
+           else false
+         end
+    in
+    if not fast then begin
+      (* one dense pass gathers the plane's addresses and checks the
+         segmented-strided shape: stride [d] within half-warp groups,
+         delta [dd] between consecutive group bases *)
+      let pl = rt.pl_addrs in
+      let a0 = base + (iget ip po * scale) in
+      iset pl 0 a0;
+      let d = ref 0 and dd = ref 0 in
+      let seg_ok = ref true in
+      for l = 1 to n - 1 do
+        let a = base + (iget ip (po + l) * scale) in
+        iset pl l a;
+        if l land 15 <> 0 then begin
+          let dl = a - iget pl (l - 1) in
+          if l = 1 then d := dl else if dl <> !d then seg_ok := false
         end
         else begin
-          let ntx, bytes =
-            Coalescer.request_cost rules ~min_tx ~elt_bytes ~lane0:0 ~cnt
-              addrs
-          in
-          if cacheable then begin
-            rt.site_rel.(site) <- rel0;
-            rt.site_stride.(site) <- !stride;
-            rt.site_ntx.(site) <- ntx;
-            rt.site_bytes.(site) <- bytes;
-            rt.site_txs.(site) <- [||]
-          end;
-          (ntx, bytes)
+          let db = a - iget pl (l - 16) in
+          if l = 16 then dd := db else if db <> !dd then seg_ok := false
         end
-      in
-      apply_hw c ~is_store ~weff ntx bytes;
-      i := !i + 16
-    done
+      done;
+      if !seg_ok then begin
+        let rel0 =
+          let r = a0 mod g in
+          if r < 0 then r + g else r
+        in
+        let dig =
+          if
+            rt.site_d.(site) = !d
+            && rt.site_dd.(site) = !dd
+            && rt.site_rel0.(site) = rel0
+          then begin
+            rt.site_hits <- rt.site_hits + 1;
+            rt.site_dig.(site)
+          end
+          else begin
+            let dig =
+              Coalescer.plane_cost rules ~min_tx ~elt_bytes ~n ~rel0 ~d:!d
+                ~dd:!dd
+            in
+            rt.site_rel0.(site) <- rel0;
+            rt.site_d.(site) <- !d;
+            rt.site_dd.(site) <- !dd;
+            rt.site_dig.(site) <- dig;
+            dig
+          end
+        in
+        rt.site_a0.(site) <- a0;
+        replay_digest c ~is_store ~weff ~a0 dig
+      end
+      else if stable then begin
+        (* irregular but block-stable shape (e.g. a tid plane whose
+           rows wrap inside a half warp): digest the actual groups
+           once, replay while the base stays congruent *)
+        let dig = digest_of_groups rt ~elt_bytes ~a0 in
+        rt.site_rel0.(site) <- 0;
+        rt.site_d.(site) <- max_int;
+        rt.site_dd.(site) <- 0;
+        rt.site_dig.(site) <- dig;
+        rt.site_a0.(site) <- a0;
+        replay_digest c ~is_store ~weff ~a0 dig
+      end
+      else begin
+        (* irregular, unstable plane: per-group accounting *)
+        let addrs = rt.hw_addrs in
+        let record = c.Interp.record_tx in
+        let i = ref 0 in
+        while !i < n do
+          let cnt = if n - !i < 16 then n - !i else 16 in
+          Array.blit pl !i addrs 0 cnt;
+          let ntx, bytes =
+            if record then record_group rt ~elt_bytes addrs cnt
+            else
+              Coalescer.request_cost rules ~min_tx ~elt_bytes ~lane0:0 ~cnt
+                addrs
+          in
+          apply_hw c ~is_store ~weff ntx bytes;
+          i := !i + 16
+        done
+      end
+    end
   end
 
 (** Account one global access where every active lane touches [addr]
@@ -426,9 +609,7 @@ let account_const (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
           Coalescer.request_cost rules ~min_tx ~elt_bytes ~lane0:0 ~cnt:16
             rt.hw_addrs
         in
-        for _ = 1 to nfull do
-          apply_hw c ~is_store ~weff ntx bytes
-        done
+        apply_hw_n c ~is_store ~weff ~reps:nfull ntx bytes
       end;
     if tail > 0 then
       if record then begin
@@ -446,9 +627,11 @@ let account_const (rt : vrt) ~(is_store : bool) ~(elt_bytes : int)
 
 (* Shared-memory serialization cost of a strided half warp is invariant
    under any uniform word shift: banks rotate together and the
-   same-address broadcast test depends only on word differences. So a
-   one-entry per-site cache keyed by the stride alone is exact for the
-   steady patterns, like the global-site cache above. *)
+   same-address broadcast test depends only on word differences. So
+   when every group of a plane steps by the same word stride, every
+   full group costs the same and the whole plane's totals are keyed by
+   that stride alone — and a stable site's cached totals hold on every
+   call, since its plane only ever shifts uniformly. *)
 
 let[@inline] shared_group_cost (rt : vrt) (cnt : int) : int =
   let banks = rt.c.Interp.cfg.Config.shared_banks in
@@ -475,10 +658,22 @@ let[@inline] apply_shared (c : Interp.bctx) (cost : int) : unit =
   if cost > 1 then
     s.Stats.bank_extra <- s.Stats.bank_extra +. float_of_int (cost - 1)
 
+(** Batched stats for [groups] half-warp shared requests totalling
+    [extra] serialization conflicts. Both counters only ever receive
+    integer increments, so the batched adds are bitwise identical to
+    the reference's per-group sequence. *)
+let apply_shared_n (c : Interp.bctx) ~(groups : int) ~(extra : int) : unit =
+  let s = c.Interp.stats in
+  s.Stats.shared_ops <- s.Stats.shared_ops +. float_of_int groups;
+  if extra > 0 then
+    s.Stats.bank_extra <- s.Stats.bank_extra +. float_of_int extra
+
 (** Account one shared access whose lane word address is
-    [ip.(po + l) * scale + u]. *)
-let account_shared_plane (rt : vrt) (m : int array) ~(po : int) ~(scale : int)
-    ~(u : int) ~(site : int) : unit =
+    [ip.(po + l) * scale + u]. [stable] marks sites whose varying index
+    is a tid plane: bank costs are invariant under any uniform word
+    shift, so their cached plane totals hold on every call. *)
+let account_shared_plane (rt : vrt) ~(stable : bool) (m : int array)
+    ~(po : int) ~(scale : int) ~(u : int) ~(site : int) : unit =
   let c = rt.c in
   let ip = rt.ip in
   if Array.length m <> rt.n then begin
@@ -501,34 +696,70 @@ let account_shared_plane (rt : vrt) (m : int array) ~(po : int) ~(scale : int)
   end
   else begin
     let n = rt.n in
-    let words = rt.hw_addrs in
-    let i = ref 0 in
-    while !i < n do
-      let cnt = if n - !i < 16 then n - !i else 16 in
-      let w0 = (iget ip (po + !i) * scale) + u in
-      iset words 0 w0;
-      let stride = ref 0 in
+    let nhw = (n + 15) / 16 in
+    if stable && rt.site_sh_d.(site) <> min_int then begin
+      apply_shared_n c ~groups:nhw ~extra:rt.site_sh_extra.(site);
+      rt.cf_credits <- rt.cf_credits + 1
+    end
+    else begin
+      let pl = rt.pl_addrs in
+      let w0 = (iget ip po * scale) + u in
+      iset pl 0 w0;
+      let d = ref 0 in
       let strided = ref true in
-      for t = 1 to cnt - 1 do
-        let w = (iget ip (po + !i + t) * scale) + u in
-        iset words t w;
-        let d = w - iget words (t - 1) in
-        if t = 1 then stride := d else if d <> !stride then strided := false
+      for l = 1 to n - 1 do
+        let w = (iget ip (po + l) * scale) + u in
+        iset pl l w;
+        if l land 15 <> 0 then begin
+          let dl = w - iget pl (l - 1) in
+          if l = 1 then d := dl else if dl <> !d then strided := false
+        end
       done;
-      let cost =
-        if cnt = 16 && !strided then
-          if rt.site_sh_stride.(site) = !stride then rt.site_sh_cost.(site)
+      let extra =
+        if !strided then
+          if rt.site_sh_d.(site) = !d then rt.site_sh_extra.(site)
           else begin
-            let cost = shared_group_cost rt cnt in
-            rt.site_sh_stride.(site) <- !stride;
-            rt.site_sh_cost.(site) <- cost;
-            cost
+            let nfull = n / 16 and tail = n land 15 in
+            let words = rt.hw_addrs in
+            let full_extra =
+              if nfull > 0 then begin
+                Array.blit pl 0 words 0 16;
+                nfull * (shared_group_cost rt 16 - 1)
+              end
+              else 0
+            in
+            let tail_extra =
+              if tail > 0 then begin
+                Array.blit pl (16 * nfull) words 0 tail;
+                shared_group_cost rt tail - 1
+              end
+              else 0
+            in
+            let extra = full_extra + tail_extra in
+            rt.site_sh_d.(site) <- !d;
+            rt.site_sh_extra.(site) <- extra;
+            extra
           end
-        else shared_group_cost rt cnt
+        else begin
+          (* irregular word plane: per-group costs from the gather *)
+          let words = rt.hw_addrs in
+          let extra = ref 0 in
+          let i = ref 0 in
+          while !i < n do
+            let cnt = if n - !i < 16 then n - !i else 16 in
+            Array.blit pl !i words 0 cnt;
+            extra := !extra + (shared_group_cost rt cnt - 1);
+            i := !i + 16
+          done;
+          if stable then begin
+            rt.site_sh_d.(site) <- max_int;
+            rt.site_sh_extra.(site) <- !extra
+          end;
+          !extra
+        end
       in
-      apply_shared c cost;
-      i := !i + 16
-    done
+      apply_shared_n c ~groups:nhw ~extra
+    end
   end
 
 (** Account one shared access where every active lane reads one word
@@ -551,10 +782,7 @@ let account_shared_const (rt : vrt) (m : int array) ~(addr : int) : unit =
       i := !j
     done
   end
-  else
-    for _ = 1 to (rt.n + 15) / 16 do
-      apply_shared c 1
-    done
+  else apply_shared_n c ~groups:((rt.n + 15) / 16) ~extra:0
 
 (* --- compiled expressions ---
 
@@ -1073,6 +1301,21 @@ let mk_xplan st (steps : ostep list) : xplan * plane list =
       in
       ({ xp_po = ooff; xp_scale = 1; xp_run = run }, [ PI offs ])
 
+(** A site is {e stable} when every varying plane its index reads is a
+    tid plane: the contents never change inside a block and only shift
+    uniformly across blocks (a sum of uniform shifts is uniform, so the
+    property survives the multi-plane scratch combine), which makes the
+    site's address layout rigid — the cached accounting digest survives
+    with an O(1) congruence check instead of a lane walk (the
+    closed-form uniform-loop credit). *)
+let stable_plane st (po : int) : bool =
+  List.exists (fun (_, p) -> p * st.cn = po) st.tid_planes
+
+let stable_site st (steps : ostep list) : bool =
+  List.for_all
+    (function OU _ -> true | OV (po, _, _) -> stable_plane st po)
+    steps
+
 (* --- expression compilation --- *)
 
 let rec comp_e (st : cstate) (env : binding Smap.t) (e : Ast.expr) : ve =
@@ -1508,6 +1751,7 @@ and comp_load st env arr idxs : ve =
         let po = xp.xp_po and sc = xp.xp_scale in
         let run = xp.xp_run in
         let site = fresh_site st in
+        let stable = stable_site st steps in
         let fill rt m =
           inst rt;
           let g = rt.globals.(gslot) in
@@ -1539,7 +1783,7 @@ and comp_load st env arr idxs : ve =
                   Interp.err "out-of-bounds load %s[%d] (size %d)" name o len;
                 fset fp (doff + l) (fget data o))
               m;
-          account_plane rt ~is_store:false ~elt_bytes:4 m ~po
+          account_plane rt ~is_store:false ~elt_bytes:4 ~stable m ~po
             ~base:(g.Devmem.base + (4 * u))
             ~scale:(4 * sc) ~site
         in
@@ -1574,6 +1818,7 @@ and comp_load st env arr idxs : ve =
         let po = xp.xp_po and sc = xp.xp_scale in
         let run = xp.xp_run in
         let site = fresh_site st in
+        let stable = stable_site st steps in
         let fill rt m =
           inst rt;
           let data = rt.shareds.(sslot) in
@@ -1606,7 +1851,7 @@ and comp_load st env arr idxs : ve =
                     o len;
                 fset fp (doff + l) (fget data o))
               m;
-          account_shared_plane rt m ~po ~scale:sc ~u ~site
+          account_shared_plane rt ~stable m ~po ~scale:sc ~u ~site
         in
         (XF (d, fill), [ PF d ])
       end
@@ -1626,6 +1871,9 @@ and comp_vload st env arr width idx : ve =
       let cn = st.cn in
       let doffs = Array.map (fun d -> d * cn) ds in
       let ioff = match fidx with IP (p, _) -> p * cn | IU _ -> 0 in
+      let stable =
+        match fidx with IP _ -> stable_plane st ioff | IU _ -> false
+      in
       let fill rt m =
         inst rt;
         let g = rt.globals.(gslot) in
@@ -1674,8 +1922,8 @@ and comp_vload st env arr width idx : ve =
                     fset fp (doff + l) (fget data o))
                   m
             done;
-            account_plane rt ~is_store:false ~elt_bytes:(4 * width) m ~po:ioff
-              ~base:g.Devmem.base ~scale:(4 * width) ~site)
+            account_plane rt ~is_store:false ~elt_bytes:(4 * width) ~stable m
+              ~po:ioff ~base:g.Devmem.base ~scale:(4 * width) ~site)
       in
       if width = 2 then
         (XF2 ((ds.(0), ds.(1)), fill), [ PF ds.(0); PF ds.(1) ])
@@ -2634,6 +2882,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
                   ~addr:(g.Devmem.base + (i0 * v_width * 4))
           | IP (p, fl) ->
               let po = p * st.cn in
+              let stable = stable_plane st po in
               fun rt m ->
                 inst rt;
                 fl rt m;
@@ -2654,8 +2903,8 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
                       fset data o (fget fp (coffs.(q) + l))
                     done)
                   m;
-                account_plane rt ~is_store:true ~elt_bytes:(4 * v_width) m
-                  ~po ~base:g.Devmem.base ~scale:(4 * v_width) ~site)
+                account_plane rt ~is_store:true ~elt_bytes:(4 * v_width)
+                  ~stable m ~po ~base:g.Devmem.base ~scale:(4 * v_width) ~site)
       | _ -> unsupported "vector store to non-global array %s" v_arr)
   | Lindex (arr, idxs) -> (
       let src, owns_src = fopnd st (comp_e st env e) in
@@ -2689,6 +2938,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
             let po = xp.xp_po and sc = xp.xp_scale in
             let run = xp.xp_run in
             let site = fresh_site st in
+            let stable = stable_site st steps in
             fun rt m ->
               inst rt;
               let sv = feval src rt m in
@@ -2714,7 +2964,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
                         len;
                     fset data o (rs rt sv l))
                   m;
-              account_plane rt ~is_store:true ~elt_bytes:4 m ~po
+              account_plane rt ~is_store:true ~elt_bytes:4 ~stable m ~po
                 ~base:(g.Devmem.base + (4 * u))
                 ~scale:(4 * sc) ~site
           end
@@ -2745,6 +2995,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
             let po = xp.xp_po and sc = xp.xp_scale in
             let run = xp.xp_run in
             let site = fresh_site st in
+            let stable = stable_site st steps in
             fun rt m ->
               inst rt;
               let sv = feval src rt m in
@@ -2768,7 +3019,7 @@ and comp_assign st env (lv : Ast.lvalue) (e : Ast.expr) : vstmt =
                         name o len;
                     fset data o (rs rt sv l))
                   m;
-              account_shared_plane rt m ~po ~scale:sc ~u ~site
+              account_shared_plane rt ~stable m ~po ~scale:sc ~u ~site
           end
       | Some _ | None -> unsupported "%s is not an array" arr)
 
@@ -3026,19 +3277,21 @@ let fresh_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
       globals = p.p_globals;
       uregs = Array.make (max 1 code.co_nuregs) 0;
       hw_addrs = Array.make 16 0;
-      site_rel = Array.make (max 1 code.co_nsites) min_int;
-      site_stride = Array.make (max 1 code.co_nsites) 0;
-      site_ntx = Array.make (max 1 code.co_nsites) 0;
-      site_bytes = Array.make (max 1 code.co_nsites) 0;
-      site_txs = Array.make (max 1 code.co_nsites) [||];
-      site_sh_stride = Array.make (max 1 code.co_nsites) min_int;
-      site_sh_cost = Array.make (max 1 code.co_nsites) 0;
+      pl_addrs = Array.make n 0;
+      site_a0 = Array.make (max 1 code.co_nsites) min_int;
+      site_rel0 = Array.make (max 1 code.co_nsites) 0;
+      site_d = Array.make (max 1 code.co_nsites) min_int;
+      site_dd = Array.make (max 1 code.co_nsites) 0;
+      site_dig = Array.make (max 1 code.co_nsites) Coalescer.empty_digest;
+      site_sh_d = Array.make (max 1 code.co_nsites) min_int;
+      site_sh_extra = Array.make (max 1 code.co_nsites) 0;
       sh_counts = Array.make (max 1 cfg.Config.shared_banks) 0;
       tx_buf = Array.make 32 0;
       seg_s = Array.make 16 0;
       seg_lo = Array.make 16 0;
       seg_hi = Array.make 16 0;
       site_hits = 0;
+      cf_credits = 0;
     }
   in
   init_tid_planes code rt ~bidx ~bidy;
@@ -3076,7 +3329,7 @@ let remake_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
   in
   Array.iter (fun sh -> Bigarray.Array1.fill sh 0.0) old.shareds;
   Array.fill old.uregs 0 (Array.length old.uregs) 0;
-  let rt = { old with c; globals = p.p_globals; site_hits = 0 } in
+  let rt = { old with c; globals = p.p_globals; site_hits = 0; cf_credits = 0 } in
   init_tid_planes code rt ~bidx ~bidy;
   rt
 
@@ -3111,13 +3364,12 @@ let make_block (p : prepared) (cfg : Config.t) (stats : Stats.t)
   in
   match reused with
   | Some old ->
-      (* the per-site transaction caches are only valid under the
-         coalescing rules they were filled with *)
+      (* the per-site digest caches are only valid under the coalescing
+         rules and bank count they were filled with *)
       if old.c.Interp.cfg != cfg && old.c.Interp.cfg <> cfg then begin
-        Array.fill old.site_rel 0 (Array.length old.site_rel) min_int;
-        Array.fill old.site_sh_stride 0
-          (Array.length old.site_sh_stride)
-          min_int
+        Array.fill old.site_a0 0 (Array.length old.site_a0) min_int;
+        Array.fill old.site_d 0 (Array.length old.site_d) min_int;
+        Array.fill old.site_sh_d 0 (Array.length old.site_sh_d) min_int
       end;
       remake_block p cfg stats ~record_tx ~bidx ~bidy old
   | None -> fresh_block p cfg stats ~record_tx ~bidx ~bidy
@@ -3130,8 +3382,12 @@ let run_phase (p : prepared) (rt : vrt) (i : int) : unit =
   rt.c.Interp.epoch <- rt.c.Interp.epoch + 1;
   p.p_code.co_phases.(i) rt p.p_code.co_full_mask;
   if rt.site_hits > 0 then begin
-    Coalescer.bump_hits rt.site_hits;
+    Coalescer.bump_plane_hits rt.site_hits;
     rt.site_hits <- 0
+  end;
+  if rt.cf_credits > 0 then begin
+    ignore (Atomic.fetch_and_add closed_form rt.cf_credits);
+    rt.cf_credits <- 0
   end
 
 (* --- fallback accounting (for tests and the bench harness) --- *)

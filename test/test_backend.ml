@@ -11,23 +11,7 @@ module W = Gpcc_workloads.Workload
 module L = Gpcc_sim.Launch
 module S = Gpcc_sim.Stats
 
-let stats_fields (s : S.t) =
-  [
-    ("warp_insts", s.S.warp_insts);
-    ("flops", s.S.flops);
-    ("gld_tx", s.S.gld_tx);
-    ("gst_tx", s.S.gst_tx);
-    ("gld_bytes", s.S.gld_bytes);
-    ("gst_bytes", s.S.gst_bytes);
-    ("cost_bytes", s.S.cost_bytes);
-    ("gld_requests", s.S.gld_requests);
-    ("gst_requests", s.S.gst_requests);
-    ("shared_ops", s.S.shared_ops);
-    ("bank_extra", s.S.bank_extra);
-    ("syncs", s.S.syncs);
-    ("divergent_branches", s.S.divergent_branches);
-    ("loads_in_flight", s.S.loads_in_flight);
-  ]
+let stats_fields = S.fields
 
 let timing_fields (t : Gpcc_sim.Timing.result) =
   [
@@ -163,6 +147,67 @@ let test_vector_fuzz_corpus () =
       bit_identical (label ^ "/opt") ro vo
     end
   done
+
+(** Strided, offset and uniform-loop global accesses: the shapes the
+    plane-granularity accounting resolves without per-half-warp work.
+    Each must stay bit-identical to the reference, and the perf
+    counters must show the fast paths actually firing — the plane memo
+    on strided planes, the closed-form credit on block-uniform loops. *)
+let test_vector_plane_accounting () =
+  let run_pair label src grid block =
+    let exec ~backend =
+      let k = parse_kernel src in
+      let launch =
+        { Gpcc_ast.Ast.grid_x = grid; grid_y = 1; block_x = block; block_y = 1 }
+      in
+      let mem = Gpcc_sim.Devmem.of_kernel k in
+      let r = L.run ~mode:L.Full ~backend ~jobs:1 cfg280 k launch mem in
+      (r, List.map (fun a -> (a, Gpcc_sim.Devmem.read mem a)) (global_arrays k))
+    in
+    let rr = exec ~backend:L.Reference in
+    let pc0 = L.perf_counters () in
+    let rv = exec ~backend:L.Vector in
+    let pc1 = L.perf_counters () in
+    bit_identical label rr rv;
+    (pc0, pc1)
+  in
+  (* strided: within-group byte stride 8, four blocks shifting the plane
+     uniformly, so the first block misses the plane memo and the rest
+     resolve without a per-half-warp walk *)
+  let pc0, pc1 =
+    run_pair "strided plane"
+      {|__kernel void s(float a[512], float o[256]) {
+  o[idx] = a[idx * 2];
+}|}
+      4 64
+  in
+  Alcotest.(check bool)
+    "strided: plane memo exercised" true
+    L.(pc1.pc_plane_misses > pc0.pc_plane_misses);
+  (* offset: base misaligned from the memo granularity, still segmented *)
+  let _, _ =
+    run_pair "offset plane"
+      {|__kernel void f(float a[512], float o[256]) {
+  o[idx] = a[idx + 3];
+}|}
+      4 64
+  in
+  (* block-uniform loop over a stable tid-plane site: every iteration
+     after the first replays the cached digest in closed form *)
+  let pc0, pc1 =
+    run_pair "uniform loop credit"
+      {|#pragma gpcc dim w 64
+__kernel void t(float a[64][64], float b[64], float c[64], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++)
+    sum += a[i][idx] * b[i];
+  c[idx] = sum;
+}|}
+      1 64
+  in
+  Alcotest.(check bool)
+    "uniform loop: closed-form credits advance" true
+    L.(pc1.pc_closed_form > pc0.pc_closed_form)
 
 (** Wide-vectorized kernels (float2/float4 accesses, the AMD target's
     shape) exercise the vector backend's multi-component planes, which
@@ -311,6 +356,7 @@ let suite =
       s "compiled == reference (bit-identical)" test_compiled_matches_reference;
       s "vector == reference (bit-identical)" test_vector_matches_reference;
       s "vector == reference on fuzz corpus" test_vector_fuzz_corpus;
+      q "plane accounting: strided/offset/loop" test_vector_plane_accounting;
       q "vector == reference on float2/float4" test_vector_wide_vectors;
       q "GPCC_CHECK wins over vector selection" test_vector_check_run;
       s "parallel Full == serial Full" test_parallel_matches_serial;

@@ -31,6 +31,13 @@ let term_pool =
     "a[idy][i] - 1.0";
     "p[2 * i] + p[2 * i + 1]";
     "b[i][idx] * v[i]";
+    (* strided/offset/reversed lane patterns: non-unit within-group
+       strides and bases off the memo granularity, the shapes the
+       plane-batched accounting must digest exactly *)
+    "b[idx][i]";
+    "p[idx + i]";
+    "v[63 - idx]";
+    "b[i][63 - idx]";
   |]
 
 let guard_pool =
